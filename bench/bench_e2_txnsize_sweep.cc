@@ -1,0 +1,44 @@
+// Experiment E2 (paper Section 5, citing [10]): mean system time S versus
+// transaction size s_t.
+//
+// Paper claims: T/O becomes worse than 2PL and PA as s_t increases, because
+// the restart probability grows with the number of requests.
+#include <cstdio>
+
+#include "bench_util.h"
+#include "common/table.h"
+
+int main() {
+  using namespace unicc;
+  using namespace unicc::bench;
+
+  std::printf("E2: mean system time S [ms] vs transaction size st\n");
+  std::printf("(pure backends, lambda=25 tx/s, 150 items, 50%% reads)\n\n");
+
+  Table table({"st", "S(2PL)", "S(T/O)", "S(PA)", "T/O restarts",
+               "restart/txn"});
+  for (std::uint32_t st : {1u, 2u, 4u, 6u, 8u, 10u}) {
+    BenchConfig cfg;
+    cfg.lambda = 25;
+    cfg.size_min = st;
+    cfg.size_max = st;
+    cfg.backend = BackendKind::kPure;
+    cfg.num_txns = 350;
+    RunStats s2pl =
+        RunOne(cfg, PolicyKind::kFixed, Protocol::kTwoPhaseLocking);
+    RunStats sto =
+        RunOne(cfg, PolicyKind::kFixed, Protocol::kTimestampOrdering);
+    RunStats spa =
+        RunOne(cfg, PolicyKind::kFixed, Protocol::kPrecedenceAgreement);
+    UNICC_CHECK(s2pl.serializable && sto.serializable && spa.serializable);
+    table.AddRow(
+        {Table::Int(st), Table::Num(s2pl.mean_s_ms),
+         Table::Num(sto.mean_s_ms), Table::Num(spa.mean_s_ms),
+         Table::Int(sto.reject_restarts),
+         Table::Num(static_cast<double>(sto.reject_restarts) /
+                        static_cast<double>(sto.committed),
+                    3)});
+  }
+  std::fputs(table.ToString().c_str(), stdout);
+  return 0;
+}

@@ -1,0 +1,45 @@
+// Experiment E4 (paper Section 1): communication cost versus system load.
+//
+// Paper claims: PA's communication cost increases with system load (the
+// back-off negotiation adds message rounds); 2PL's per-transaction message
+// count stays flat, T/O's grows only through restart re-sends.
+#include <cstdio>
+
+#include "bench_util.h"
+#include "common/table.h"
+
+int main() {
+  using namespace unicc;
+  using namespace unicc::bench;
+
+  std::printf("E4: concurrency-control messages per committed txn vs lambda\n");
+  std::printf("(pure backends, st=4, 30%% reads, 120 items)\n\n");
+
+  Table table({"lambda[tx/s]", "cc-msg/txn 2PL", "cc-msg/txn T/O",
+               "cc-msg/txn PA", "PA backoff rounds"});
+  for (double lambda : {10.0, 30.0, 60.0, 100.0, 150.0, 200.0}) {
+    BenchConfig cfg;
+    cfg.lambda = lambda;
+    cfg.num_items = 120;
+    cfg.read_fraction = 0.3;
+    cfg.backend = BackendKind::kPure;
+    cfg.num_txns = 350;
+    RunStats s2pl =
+        RunOne(cfg, PolicyKind::kFixed, Protocol::kTwoPhaseLocking);
+    RunStats sto =
+        RunOne(cfg, PolicyKind::kFixed, Protocol::kTimestampOrdering);
+    RunStats spa =
+        RunOne(cfg, PolicyKind::kFixed, Protocol::kPrecedenceAgreement);
+    table.AddRow({Table::Num(lambda, 0),
+                  Table::Num(s2pl.cc_msgs_per_txn),
+                  Table::Num(sto.cc_msgs_per_txn),
+                  Table::Num(spa.cc_msgs_per_txn),
+                  Table::Int(spa.backoff_rounds)});
+  }
+  std::fputs(table.ToString().c_str(), stdout);
+  std::printf(
+      "\nNote: our PA pays a fixed confirmation round (DESIGN.md soundness\n"
+      "fix), so its msg/txn exceeds 2PL's by a constant; the load-dependent\n"
+      "component shows up in the back-off rounds column.\n");
+  return 0;
+}

@@ -1,0 +1,93 @@
+// Experiment E8 (paper Section 5.1): properties of the STL' dynamic
+// program and the per-protocol STL estimators.
+//
+// Paper claims: STL' can be evaluated efficiently through dynamic
+// programming; the estimators rank protocols differently as the measured
+// parameters change (which is what drives E5's selection).
+#include <chrono>
+#include <cstdio>
+
+#include "common/table.h"
+#include "stl/estimators.h"
+#include "stl/evaluator.h"
+
+int main() {
+  using namespace unicc;
+
+  std::printf("E8a: STL' DP grid convergence (lambda_a=100, K=4)\n\n");
+  SystemParams sys;
+  sys.lambda_a = 100;
+  sys.lambda_r = 0.4;
+  sys.lambda_w = 0.6;
+  sys.q_r = 0.5;
+  sys.k_avg = 4;
+  {
+    Table table({"grid points", "STL'(10, 0.2s)", "STL'(40, 0.5s)",
+                 "eval time [us]"});
+    for (int grid : {8, 16, 32, 64, 128, 256}) {
+      StlEvaluator ev(sys, grid);
+      const auto t0 = std::chrono::steady_clock::now();
+      const double a = ev.Evaluate(10, 0.2);
+      const double b = ev.Evaluate(40, 0.5);
+      const auto t1 = std::chrono::steady_clock::now();
+      const double us =
+          std::chrono::duration<double, std::micro>(t1 - t0).count() / 2;
+      table.AddRow({Table::Int(static_cast<std::uint64_t>(grid)),
+                    Table::Num(a, 4), Table::Num(b, 4),
+                    Table::Num(us, 1)});
+    }
+    std::fputs(table.ToString().c_str(), stdout);
+  }
+
+  std::printf(
+      "\nE8b: estimator ranking flips with contention "
+      "(shape m=2, n=2)\n\n");
+  {
+    Table table({"contention", "STL_2PL", "STL_T/O", "STL_PA", "min"});
+    struct Row {
+      const char* name;
+      double p_abort;     // 2PL deadlock probability
+      double p_negative;  // T/O reject & PA back-off probability
+      double u;           // lock time (s)
+    };
+    const Row rows[] = {
+        {"idle (no conflicts)", 0.0, 0.0, 0.03},
+        {"light", 0.01, 0.05, 0.04},
+        {"moderate", 0.05, 0.15, 0.06},
+        {"heavy", 0.25, 0.35, 0.10},
+        {"extreme", 0.50, 0.50, 0.15},
+    };
+    StlEvaluator ev(sys, 48);
+    const TxnShape shape{2, 2};
+    for (const Row& r : rows) {
+      ProtocolParams p2;
+      p2.u_lock = r.u;
+      p2.u_lock_aborted = r.u * 2;  // deadlocked locks are held long
+      p2.p_abort = r.p_abort;
+      ProtocolParams pto;
+      pto.u_lock = r.u;
+      pto.u_lock_aborted = r.u * 0.5;
+      pto.p_reject_read = r.p_negative;
+      pto.p_reject_write = r.p_negative;
+      ProtocolParams ppa;
+      ppa.u_lock = r.u * 1.2;  // negotiation lengthens holds slightly
+      ppa.u_lock_aborted = r.u * 0.6;
+      ppa.p_reject_read = r.p_negative;
+      ppa.p_reject_write = r.p_negative;
+      const double v2 = Stl2pl(ev, shape, p2);
+      const double vt = StlTo(ev, shape, pto);
+      const double vp = StlPa(ev, shape, ppa);
+      const char* min = "2PL";
+      if (vt < v2 && vt < vp) min = "T/O";
+      if (vp < v2 && vp < vt) min = "PA";
+      table.AddRow({r.name, Table::Num(v2, 4), Table::Num(vt, 4),
+                    Table::Num(vp, 4), min});
+    }
+    std::fputs(table.ToString().c_str(), stdout);
+  }
+  std::printf(
+      "\nExpected: values converge as the grid refines, evaluation stays\n"
+      "in the microsecond range, and the minimum column shifts away from\n"
+      "2PL as contention grows.\n");
+  return 0;
+}

@@ -1,0 +1,59 @@
+// Experiment E9 (ablation; the paper leaves INT_i unspecified): sensitivity
+// of PA to the back-off interval INT_i. TS'_ij = TS_i + k*INT_i, so a tiny
+// interval lands the request just past the conflict (minimal delay, but the
+// negotiated maximum may still be behind other queues), while a huge
+// interval overshoots and queues the transaction far in the future.
+#include <cstdio>
+
+#include "bench_util.h"
+#include "common/table.h"
+#include "engine/engine.h"
+
+int main() {
+  using namespace unicc;
+  using namespace unicc::bench;
+
+  std::printf("E9: PA sensitivity to the back-off interval INT\n");
+  std::printf("(pure PA backend, lambda=80 tx/s, st=4, 30 items)\n\n");
+
+  Table table({"INT [us]", "S(PA) [ms]", "p95 [ms]", "backoff rounds"});
+  for (Timestamp interval :
+       {Timestamp{1}, Timestamp{64}, Timestamp{1024}, Timestamp{16384},
+        Timestamp{262144}}) {
+    EngineOptions eo;
+    eo.num_user_sites = 4;
+    eo.num_data_sites = 4;
+    eo.num_items = 30;
+    eo.network.base_delay = 5 * kMillisecond;
+    eo.network.jitter_mean = 2 * kMillisecond;
+    eo.backend = BackendKind::kPure;
+    eo.pure_protocol = Protocol::kPrecedenceAgreement;
+    eo.default_backoff_interval = interval;
+    eo.seed = 4242;
+    Engine engine(eo);
+    engine.SetProtocolPolicy(
+        FixedProtocol(Protocol::kPrecedenceAgreement));
+    WorkloadOptions wo;
+    wo.arrival_rate_per_sec = 80;
+    wo.num_txns = 400;
+    wo.size_min = 4;
+    wo.size_max = 4;
+    wo.read_fraction = 0.3;
+    wo.compute_time = 5 * kMillisecond;
+    WorkloadGenerator gen(wo, eo.num_items, eo.num_user_sites,
+                          Rng(eo.seed ^ 0x5bd1e995));
+    UNICC_CHECK(engine.AddWorkload(gen.Generate()).ok());
+    const RunSummary s = engine.Run();
+    UNICC_CHECK(engine.CheckSerializability().serializable);
+    table.AddRow({Table::Int(interval),
+                  Table::Num(engine.metrics().MeanSystemTimeMs()),
+                  Table::Num(engine.metrics().SystemTime().PercentileMs(95)),
+                  Table::Int(s.backoff_rounds)});
+  }
+  std::fputs(table.ToString().c_str(), stdout);
+  std::printf(
+      "\nExpected: small-to-moderate INT values behave alike (the back-off\n"
+      "lands just past the conflict); very large INT values overshoot and\n"
+      "inflate tail latency.\n");
+  return 0;
+}

@@ -1,0 +1,119 @@
+// M1: google-benchmark microbenchmarks of the core data structures: event
+// loop, precedence comparison, queue-manager grant path, WFG cycle
+// detection, Zipf sampling and STL' evaluation.
+#include <benchmark/benchmark.h>
+
+#include <memory>
+#include <variant>
+
+#include "cc/precedence.h"
+#include "cc/unified/queue_manager.h"
+#include "common/rng.h"
+#include "deadlock/wfg.h"
+#include "net/transport.h"
+#include "sim/simulator.h"
+#include "stl/evaluator.h"
+#include "storage/log.h"
+#include "workload/zipf.h"
+
+namespace unicc {
+namespace {
+
+void BM_SimulatorScheduleRun(benchmark::State& state) {
+  for (auto _ : state) {
+    Simulator sim;
+    for (int i = 0; i < 1000; ++i) {
+      sim.Schedule(static_cast<Duration>(i % 97), [] {});
+    }
+    benchmark::DoNotOptimize(sim.RunToCompletion());
+  }
+  state.SetItemsProcessed(state.iterations() * 1000);
+}
+BENCHMARK(BM_SimulatorScheduleRun);
+
+void BM_PrecedenceCompare(benchmark::State& state) {
+  Rng rng(1);
+  std::vector<Precedence> precs;
+  for (int i = 0; i < 1024; ++i) {
+    precs.push_back(Precedence::ForTimestamped(
+        rng.Next() % 1000, static_cast<SiteId>(rng.Next() % 16),
+        rng.Next()));
+  }
+  std::size_t i = 0;
+  for (auto _ : state) {
+    const bool lt = precs[i % 1024] < precs[(i + 1) % 1024];
+    benchmark::DoNotOptimize(lt);
+    ++i;
+  }
+}
+BENCHMARK(BM_PrecedenceCompare);
+
+void BM_UnifiedQmGrantReleaseCycle(benchmark::State& state) {
+  Simulator sim;
+  NetworkOptions net;
+  net.base_delay = 1;
+  net.local_delay = 1;
+  SimTransport transport(&sim, net, Rng(2));
+  ImplementationLog log;
+  transport.RegisterSite(0, [](SiteId, const Message&) {});
+  CcContext ctx{&sim, &transport, &log};
+  UnifiedQueueManager qm(1, ctx, UnifiedQmOptions{});
+  transport.RegisterSite(1, [](SiteId, const Message&) {});
+  TxnId txn = 1;
+  const CopyId copy{0, 1};
+  for (auto _ : state) {
+    msg::CcRequest req;
+    req.txn = txn;
+    req.attempt = 1;
+    req.copy = copy;
+    req.op = OpType::kWrite;
+    req.proto = Protocol::kTwoPhaseLocking;
+    req.reply_to = 0;
+    qm.OnRequest(req);
+    qm.OnRelease(msg::Release{txn, 1, copy, true, txn});
+    sim.RunToCompletion();
+    ++txn;
+  }
+  state.SetItemsProcessed(state.iterations());
+}
+BENCHMARK(BM_UnifiedQmGrantReleaseCycle);
+
+void BM_WfgCycleDetection(benchmark::State& state) {
+  const int n = static_cast<int>(state.range(0));
+  WaitForGraph g;
+  Rng rng(3);
+  for (int i = 0; i < n; ++i) {
+    g.AddEdge(rng.Next() % n, rng.Next() % n);
+  }
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(g.FindCycle());
+  }
+}
+BENCHMARK(BM_WfgCycleDetection)->Arg(64)->Arg(512)->Arg(4096);
+
+void BM_ZipfSample(benchmark::State& state) {
+  ZipfGenerator zipf(100000, 0.8);
+  Rng rng(4);
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(zipf.Next(rng));
+  }
+}
+BENCHMARK(BM_ZipfSample);
+
+void BM_StlEvaluate(benchmark::State& state) {
+  SystemParams sys;
+  sys.lambda_a = 100;
+  sys.lambda_r = 0.4;
+  sys.lambda_w = 0.6;
+  sys.k_avg = 4;
+  StlEvaluator ev(sys, static_cast<int>(state.range(0)));
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(ev.Evaluate(10, 0.2));
+  }
+}
+BENCHMARK(BM_StlEvaluate)->Arg(16)->Arg(48)->Arg(128);
+
+}  // namespace
+}  // namespace unicc
+
+BENCHMARK_MAIN();

@@ -1,0 +1,182 @@
+// Shared harness for the experiment benchmarks: runs one engine+workload
+// configuration to completion and extracts the row data the experiment
+// tables report.
+#ifndef UNICC_BENCH_BENCH_UTIL_H_
+#define UNICC_BENCH_BENCH_UTIL_H_
+
+#include <cstdio>
+#include <memory>
+#include <string>
+
+#include "engine/engine.h"
+#include "selector/selector.h"
+#include "stl/estimators.h"
+#include "workload/generator.h"
+
+namespace unicc::bench {
+
+// Cluster/workload configuration for one experiment run.
+struct BenchConfig {
+  std::uint32_t user_sites = 4;
+  std::uint32_t data_sites = 4;
+  ItemId num_items = 60;
+  std::uint32_t replication = 1;
+  Duration base_delay = 5 * kMillisecond;
+  Duration jitter_mean = 2 * kMillisecond;
+  double lambda = 20;           // arrivals per second
+  std::uint64_t num_txns = 500;
+  std::uint32_t size_min = 4;
+  std::uint32_t size_max = 4;
+  double read_fraction = 0.5;
+  double zipf_theta = 0.0;
+  Duration compute_time = 5 * kMillisecond;
+  BackendKind backend = BackendKind::kUnified;
+  Protocol pure_protocol = Protocol::kTwoPhaseLocking;
+  bool semi_locks = true;
+  std::uint64_t seed = 1234;
+};
+
+// Row data extracted from a completed run.
+struct RunStats {
+  double mean_s_ms = 0;     // mean transaction system time S
+  double p95_s_ms = 0;
+  std::uint64_t committed = 0;
+  std::uint64_t deadlock_victims = 0;
+  std::uint64_t reject_restarts = 0;
+  std::uint64_t backoff_rounds = 0;
+  double msgs_per_txn = 0;     // remote messages per committed transaction
+  double cc_msgs_per_txn = 0;  // concurrency-control messages only
+                               // (excludes deadlock-detector traffic)
+  double throughput = 0;    // committed per simulated second
+  bool serializable = false;
+  // Per-protocol mean S (only meaningful for mixed runs).
+  double mean_s_ms_by_proto[kNumProtocols] = {0, 0, 0};
+  std::uint64_t committed_by_proto[kNumProtocols] = {0, 0, 0};
+};
+
+enum class PolicyKind { kFixed, kMixedEven, kMinStl, kMinAvgTime };
+
+inline RunStats RunOne(const BenchConfig& cfg, PolicyKind policy,
+                       Protocol fixed = Protocol::kTwoPhaseLocking) {
+  EngineOptions eo;
+  eo.num_user_sites = cfg.user_sites;
+  eo.num_data_sites = cfg.data_sites;
+  eo.num_items = cfg.num_items;
+  eo.replication = cfg.replication;
+  eo.network.base_delay = cfg.base_delay;
+  eo.network.jitter_mean = cfg.jitter_mean;
+  eo.backend = cfg.backend;
+  eo.pure_protocol = fixed;
+  eo.semi_locks = cfg.semi_locks;
+  eo.seed = cfg.seed;
+  if (cfg.backend == BackendKind::kPure &&
+      fixed == Protocol::kTimestampOrdering) {
+    eo.detector = DetectorKind::kNone;
+  }
+
+  auto estimator = std::make_unique<ParamEstimator>();
+  EngineCallbacks callbacks;
+  ParamEstimator* est = estimator.get();
+  callbacks.on_commit = [est](const TxnResult& r) { est->OnCommit(r); };
+  callbacks.on_request_sent = [est](Protocol p, OpType op) {
+    est->OnRequestSent(p, op);
+  };
+  callbacks.on_lock_hold = [est](Protocol p, Duration d, bool a) {
+    est->OnLockHold(p, d, a);
+  };
+  callbacks.on_restart = [est](Protocol p, TxnOutcome w) {
+    est->OnRestart(p, w);
+  };
+  callbacks.on_grant = [est](const CopyId&, OpType op, Protocol) {
+    est->OnGrant(op);
+  };
+  callbacks.on_reject = [est](OpType op, Protocol p) {
+    est->OnReject(op, p);
+  };
+  callbacks.on_backoff_offer = [est](OpType op) {
+    est->OnBackoffOffer(op);
+  };
+
+  auto naive = std::make_unique<MinAvgTimeSelector>();
+  if (policy == PolicyKind::kMinAvgTime) {
+    MinAvgTimeSelector* n = naive.get();
+    auto inner = callbacks.on_commit;
+    callbacks.on_commit = [n, inner](const TxnResult& r) {
+      n->OnCommit(r);
+      if (inner) inner(r);
+    };
+  }
+
+  Engine engine(eo, callbacks);
+
+  std::unique_ptr<MinStlSelector> selector;
+  switch (policy) {
+    case PolicyKind::kFixed:
+      engine.SetProtocolPolicy(FixedProtocol(fixed));
+      break;
+    case PolicyKind::kMixedEven:
+      engine.SetProtocolPolicy(MixedProtocol(1, 1, 1, Rng(cfg.seed ^ 77)));
+      break;
+    case PolicyKind::kMinStl: {
+      selector = std::make_unique<MinStlSelector>(
+          &engine.simulator(), est,
+          static_cast<std::size_t>(cfg.num_items) * cfg.replication);
+      engine.SetProtocolPolicy(selector->AsPolicy());
+      break;
+    }
+    case PolicyKind::kMinAvgTime:
+      engine.SetProtocolPolicy(naive->AsPolicy());
+      break;
+  }
+
+  WorkloadOptions wo;
+  wo.arrival_rate_per_sec = cfg.lambda;
+  wo.num_txns = cfg.num_txns;
+  wo.size_min = cfg.size_min;
+  wo.size_max = cfg.size_max;
+  wo.read_fraction = cfg.read_fraction;
+  wo.zipf_theta = cfg.zipf_theta;
+  wo.compute_time = cfg.compute_time;
+  WorkloadGenerator gen(wo, cfg.num_items, cfg.user_sites,
+                        Rng(cfg.seed ^ 0x5bd1e995));
+  UNICC_CHECK(engine.AddWorkload(gen.Generate()).ok());
+  const RunSummary summary = engine.Run();
+
+  RunStats out;
+  out.mean_s_ms = engine.metrics().MeanSystemTimeMs();
+  out.p95_s_ms = engine.metrics().SystemTime().PercentileMs(95);
+  out.committed = summary.committed;
+  out.deadlock_victims = summary.deadlock_victims;
+  out.reject_restarts = summary.reject_restarts;
+  out.backoff_rounds = summary.backoff_rounds;
+  out.msgs_per_txn =
+      summary.committed == 0
+          ? 0
+          : static_cast<double>(summary.remote_messages) /
+                static_cast<double>(summary.committed);
+  std::uint64_t cc_msgs = 0;
+  for (MessageKind k :
+       {MessageKind::kCcRequest, MessageKind::kGrant, MessageKind::kBackoff,
+        MessageKind::kPaAccept, MessageKind::kFinalTs, MessageKind::kReject,
+        MessageKind::kRelease, MessageKind::kSemiTransform,
+        MessageKind::kAbortTxn}) {
+    cc_msgs += engine.transport().MessagesOfKind(k);
+  }
+  out.cc_msgs_per_txn =
+      summary.committed == 0
+          ? 0
+          : static_cast<double>(cc_msgs) /
+                static_cast<double>(summary.committed);
+  out.throughput = engine.metrics().ThroughputPerSec(summary.makespan);
+  out.serializable = engine.CheckSerializability().serializable;
+  for (int p = 0; p < kNumProtocols; ++p) {
+    const auto& ps = engine.metrics().ForProtocol(static_cast<Protocol>(p));
+    out.mean_s_ms_by_proto[p] = ps.system_time.MeanMs();
+    out.committed_by_proto[p] = ps.committed;
+  }
+  return out;
+}
+
+}  // namespace unicc::bench
+
+#endif  // UNICC_BENCH_BENCH_UTIL_H_

@@ -1,0 +1,58 @@
+// Hotspot: Zipf-skewed access makes a few items extremely popular. Shows
+// how contention-sensitive each protocol is and that correctness holds on
+// pathological access patterns.
+//
+//   ./examples/hotspot
+#include <cstdio>
+
+#include "engine/engine.h"
+#include "workload/generator.h"
+
+int main() {
+  using namespace unicc;
+
+  std::printf("theta  protocol  mean S[ms]  p95[ms]  anomalies\n");
+  for (double theta : {0.0, 0.8, 1.2}) {
+    for (Protocol p :
+         {Protocol::kTwoPhaseLocking, Protocol::kTimestampOrdering,
+          Protocol::kPrecedenceAgreement}) {
+      EngineOptions options;
+      options.num_user_sites = 3;
+      options.num_data_sites = 3;
+      options.num_items = 100;
+      options.network.base_delay = 5 * kMillisecond;
+      options.network.jitter_mean = 2 * kMillisecond;
+      options.seed = 31;
+      Engine engine(options);
+      engine.SetProtocolPolicy(FixedProtocol(p));
+
+      WorkloadOptions wo;
+      wo.arrival_rate_per_sec = 60;
+      wo.num_txns = 300;
+      wo.size_min = 3;
+      wo.size_max = 3;
+      wo.read_fraction = 0.5;
+      wo.zipf_theta = theta;
+      wo.compute_time = 3 * kMillisecond;
+      WorkloadGenerator gen(wo, options.num_items, options.num_user_sites,
+                            Rng(7));
+      if (!engine.AddWorkload(gen.Generate()).ok()) return 1;
+      const RunSummary s = engine.Run();
+      if (!engine.CheckSerializability().serializable) {
+        std::printf("NOT SERIALIZABLE\n");
+        return 1;
+      }
+      std::printf("%5.1f  %-8s  %10.2f  %7.2f  %llu\n", theta,
+                  std::string(ProtocolName(p)).c_str(),
+                  engine.metrics().MeanSystemTimeMs(),
+                  engine.metrics().SystemTime().PercentileMs(95),
+                  static_cast<unsigned long long>(
+                      s.deadlock_victims + s.reject_restarts +
+                      s.backoff_rounds));
+    }
+  }
+  std::printf(
+      "\nSkew (theta) concentrates conflicts on a few hot items; anomaly\n"
+      "counts rise with theta while every run stays serializable.\n");
+  return 0;
+}

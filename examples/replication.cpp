@@ -1,0 +1,52 @@
+// Replication: read-one/write-all over increasing replication factors.
+// Shows the catalog placing copies, the cost of writing all replicas, and
+// the end-of-run replica consistency check.
+//
+//   ./examples/replication
+#include <cstdio>
+
+#include "engine/engine.h"
+#include "workload/generator.h"
+
+int main() {
+  using namespace unicc;
+
+  std::printf(
+      "replication  msgs/txn  mean S[ms]  serializable  replicas-ok\n");
+  for (std::uint32_t r : {1u, 2u, 3u, 4u}) {
+    EngineOptions options;
+    options.num_user_sites = 3;
+    options.num_data_sites = 4;
+    options.num_items = 64;
+    options.replication = r;
+    options.network.base_delay = 10 * kMillisecond;
+    options.seed = 5;
+
+    Engine engine(options);
+    engine.SetProtocolPolicy(MixedProtocol(1, 1, 1, Rng(11)));
+
+    WorkloadOptions wo;
+    wo.arrival_rate_per_sec = 15;
+    wo.num_txns = 150;
+    wo.size_min = 2;
+    wo.size_max = 4;
+    wo.read_fraction = 0.6;
+    WorkloadGenerator gen(wo, options.num_items, options.num_user_sites,
+                          Rng(21));
+    if (!engine.AddWorkload(gen.Generate()).ok()) return 1;
+
+    const RunSummary summary = engine.Run();
+    const bool ser = engine.CheckSerializability().serializable;
+    const bool rep = engine.ReplicasConsistent();
+    std::printf("%11u  %8.1f  %10.2f  %12s  %11s\n", r,
+                static_cast<double>(summary.remote_messages) /
+                    static_cast<double>(summary.committed),
+                summary.mean_system_time_ms, ser ? "yes" : "NO",
+                rep ? "yes" : "NO");
+    if (!ser || !rep) return 1;
+  }
+  std::printf(
+      "\nWrites touch every replica (messages grow with the factor);\n"
+      "reads touch one. All replicas agree at quiescence.\n");
+  return 0;
+}

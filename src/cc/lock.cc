@@ -1,0 +1,19 @@
+#include "cc/lock.h"
+
+namespace unicc {
+
+std::string_view LockKindName(LockKind k) {
+  switch (k) {
+    case LockKind::kReadLock:
+      return "RL";
+    case LockKind::kWriteLock:
+      return "WL";
+    case LockKind::kSemiReadLock:
+      return "SRL";
+    case LockKind::kSemiWriteLock:
+      return "SWL";
+  }
+  return "?";
+}
+
+}  // namespace unicc

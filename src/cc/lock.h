@@ -1,0 +1,49 @@
+// Lock kinds of the semi-lock protocol (paper, Section 4.2): read locks
+// (RL), write locks (WL), semi-read locks (SRL) and semi-write locks (SWL).
+// Two locks conflict iff they lock the same item and at least one of them is
+// a WL or SWL. A lock is *pre-scheduled* if at least one conflicting lock
+// was granted earlier and is not yet released; otherwise it is *normal*.
+#ifndef UNICC_CC_LOCK_H_
+#define UNICC_CC_LOCK_H_
+
+#include <cstdint>
+#include <string>
+
+#include "common/types.h"
+
+namespace unicc {
+
+enum class LockKind : std::uint8_t {
+  kReadLock = 0,       // RL
+  kWriteLock = 1,      // WL
+  kSemiReadLock = 2,   // SRL
+  kSemiWriteLock = 3,  // SWL
+};
+
+// True iff `a` and `b` conflict under the semi-lock rule: at least one of
+// the pair is a WL or SWL.
+constexpr bool LocksConflict(LockKind a, LockKind b) {
+  auto is_write_like = [](LockKind k) {
+    return k == LockKind::kWriteLock || k == LockKind::kSemiWriteLock;
+  };
+  return is_write_like(a) || is_write_like(b);
+}
+
+// The semi-lock transform applied when a committed T/O transaction held any
+// pre-scheduled lock: RL -> SRL, WL -> SWL (paper, rule 4 of Section 4.2).
+constexpr LockKind ToSemi(LockKind k) {
+  switch (k) {
+    case LockKind::kReadLock:
+      return LockKind::kSemiReadLock;
+    case LockKind::kWriteLock:
+      return LockKind::kSemiWriteLock;
+    default:
+      return k;
+  }
+}
+
+std::string_view LockKindName(LockKind k);
+
+}  // namespace unicc
+
+#endif  // UNICC_CC_LOCK_H_

@@ -1,0 +1,42 @@
+#include "cc/pa/pa_manager.h"
+
+#include "common/check.h"
+
+namespace unicc {
+
+namespace {
+UnifiedQmOptions PaOnly() {
+  UnifiedQmOptions o;
+  o.allow_2pl = false;
+  o.allow_to = false;
+  o.allow_pa = true;
+  return o;
+}
+}  // namespace
+
+PaQueueManager::PaQueueManager(SiteId site, CcContext ctx, CcHooks hooks)
+    : inner_(site, ctx, PaOnly(), std::move(hooks)) {}
+
+void PaQueueManager::OnRequest(const msg::CcRequest& m) {
+  UNICC_CHECK_MSG(m.proto == Protocol::kPrecedenceAgreement,
+                  "pure PA backend got a non-PA request");
+  inner_.OnRequest(m);
+}
+
+void PaQueueManager::OnFinalTs(const msg::FinalTs& m) { inner_.OnFinalTs(m); }
+
+void PaQueueManager::OnRelease(const msg::Release& m) { inner_.OnRelease(m); }
+
+void PaQueueManager::OnSemiTransform(const msg::SemiTransform&) {
+  UNICC_CHECK_MSG(false, "SemiTransform is not part of PA");
+}
+
+void PaQueueManager::OnAbort(const msg::AbortTxn& m) { inner_.OnAbort(m); }
+
+void PaQueueManager::CollectWaitEdges(std::vector<WaitEdge>* out) const {
+  inner_.CollectWaitEdges(out);
+}
+
+const Store& PaQueueManager::store() const { return inner_.store(); }
+
+}  // namespace unicc

@@ -1,0 +1,37 @@
+// Pure Precedence Agreement backend (paper, Section 3.4). PA is a special
+// instance of the unified scheme in which every transaction runs PA (the
+// paper proves PA's correctness exactly this way, Corollary 1), so the pure
+// backend is the unified queue manager restricted to PA requests.
+#ifndef UNICC_CC_PA_PA_MANAGER_H_
+#define UNICC_CC_PA_PA_MANAGER_H_
+
+#include <vector>
+
+#include "cc/unified/queue_manager.h"
+
+namespace unicc {
+
+class PaQueueManager : public DataSiteBackend {
+ public:
+  PaQueueManager(SiteId site, CcContext ctx, CcHooks hooks = {});
+
+  void OnRequest(const msg::CcRequest& m) override;
+  void OnFinalTs(const msg::FinalTs& m) override;
+  void OnRelease(const msg::Release& m) override;
+  void OnSemiTransform(const msg::SemiTransform& m) override;
+  void OnAbort(const msg::AbortTxn& m) override;
+  void CollectWaitEdges(std::vector<WaitEdge>* out) const override;
+
+  const Store& store() const override;
+  Store* mutable_store() { return inner_.mutable_store(); }
+
+  std::uint64_t backoffs_sent() const { return inner_.backoffs_sent(); }
+  std::uint64_t grants_sent() const { return inner_.grants_sent(); }
+
+ private:
+  UnifiedQueueManager inner_;
+};
+
+}  // namespace unicc
+
+#endif  // UNICC_CC_PA_PA_MANAGER_H_

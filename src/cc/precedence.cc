@@ -1,0 +1,15 @@
+#include "cc/precedence.h"
+
+#include <cstdio>
+
+namespace unicc {
+
+std::string Precedence::ToString() const {
+  char buf[96];
+  std::snprintf(buf, sizeof(buf), "(ts=%llu,%s,site=%u,tie=%llu)",
+                static_cast<unsigned long long>(ts), twopl ? "2PL" : "ts",
+                site, static_cast<unsigned long long>(tie));
+  return buf;
+}
+
+}  // namespace unicc

@@ -1,0 +1,68 @@
+// The unified precedence space (paper, Section 4.1). Every request in a
+// data queue carries a totally ordered precedence:
+//
+//   1. compare timestamp values;
+//   2. on a tie, compare site ids, with 2PL-controlled transactions treated
+//      as having the biggest site id;
+//   3. still tied: both 2PL -> arrival order at the data queue; both
+//      non-2PL -> transaction id.
+//
+// A 2PL request is assigned the biggest timestamp that has ever appeared in
+// the queue before its arrival, which (with rules 2-3) inserts it at the
+// tail and keeps 2PL FCFS.
+#ifndef UNICC_CC_PRECEDENCE_H_
+#define UNICC_CC_PRECEDENCE_H_
+
+#include <compare>
+#include <cstdint>
+#include <string>
+
+#include "common/types.h"
+
+namespace unicc {
+
+struct Precedence {
+  Timestamp ts = 0;
+  // True for 2PL-controlled requests: they rank above any real site id.
+  bool twopl = false;
+  // Issuing site for rule 2 (ignored when twopl, which outranks all sites).
+  SiteId site = 0;
+  // Rule 3 tie-break: per-queue arrival sequence for 2PL, transaction id
+  // otherwise.
+  std::uint64_t tie = 0;
+
+  // Builds the precedence of a T/O or PA request (the transaction's
+  // timestamp; paper Section 3.3 / 3.4).
+  static Precedence ForTimestamped(Timestamp ts, SiteId site, TxnId txn) {
+    return Precedence{ts, false, site, txn};
+  }
+
+  // Builds the precedence of a 2PL request: `queue_hwm` is the biggest
+  // timestamp seen in this queue before arrival, `arrival_seq` the queue's
+  // arrival counter.
+  static Precedence For2pl(Timestamp queue_hwm, std::uint64_t arrival_seq) {
+    return Precedence{queue_hwm, true, 0, arrival_seq};
+  }
+
+  // Rank used in rule 2; 2PL outranks every real site id.
+  std::uint64_t SiteRank() const {
+    return twopl ? ~std::uint64_t{0} : site;
+  }
+
+  friend bool operator==(const Precedence& a, const Precedence& b) {
+    return a.ts == b.ts && a.twopl == b.twopl &&
+           a.SiteRank() == b.SiteRank() && a.tie == b.tie;
+  }
+  friend std::strong_ordering operator<=>(const Precedence& a,
+                                          const Precedence& b) {
+    if (auto c = a.ts <=> b.ts; c != 0) return c;
+    if (auto c = a.SiteRank() <=> b.SiteRank(); c != 0) return c;
+    return a.tie <=> b.tie;
+  }
+
+  std::string ToString() const;
+};
+
+}  // namespace unicc
+
+#endif  // UNICC_CC_PRECEDENCE_H_

@@ -1,0 +1,20 @@
+#include "cc/request.h"
+
+#include <cstdio>
+
+namespace unicc {
+
+std::string QueueEntry::ToString() const {
+  char buf[160];
+  std::snprintf(
+      buf, sizeof(buf), "[txn=%llu/%u %s %s prec=%s %s%s%s]",
+      static_cast<unsigned long long>(txn), attempt,
+      std::string(ProtocolName(proto)).c_str(),
+      op == OpType::kRead ? "r" : "w", prec.ToString().c_str(),
+      mark == EntryMark::kBlocked ? "BLOCKED " : "",
+      granted ? "granted:" : "waiting",
+      granted ? std::string(LockKindName(lock)).c_str() : "");
+  return buf;
+}
+
+}  // namespace unicc

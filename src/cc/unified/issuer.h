@@ -1,0 +1,183 @@
+// The request issuer (RI) of the PAM model: admits transactions at a user
+// site, translates logical operations to physical requests (read-one /
+// write-all over the catalog), and drives the per-protocol transaction state
+// machine:
+//
+//   2PL: send all requests -> wait for all grants -> compute -> release.
+//        May be chosen as a deadlock victim -> abort + restart.
+//   T/O: send all requests (transaction timestamp) -> any Reject aborts the
+//        incarnation and restarts with a fresh timestamp. Under the unified
+//        backend, a commit while holding pre-scheduled locks takes the
+//        semi-lock path: transform, report commit, keep collecting normal
+//        grants, then release.
+//   PA : send requests with (TS_i, INT_i) -> collect one grant-or-back-off
+//        response per request -> if any back-off, TS'_i = max_j TS'_ij is
+//        sent to every queue -> wait for all grants -> compute -> release.
+//
+// The same issuer drives the pure and unified backends; the wire protocol is
+// identical.
+#ifndef UNICC_CC_UNIFIED_ISSUER_H_
+#define UNICC_CC_UNIFIED_ISSUER_H_
+
+#include <cstdint>
+#include <functional>
+#include <unordered_map>
+#include <vector>
+
+#include "cc/backend.h"
+#include "common/rng.h"
+#include "common/types.h"
+#include "storage/catalog.h"
+#include "txn/timestamp.h"
+#include "txn/transaction.h"
+
+namespace unicc {
+
+// Computes write values from the values read; keyed by item. If a
+// transaction supplies no function, each written item gets the transaction
+// id as value.
+using ComputeFn = std::function<std::vector<std::pair<ItemId, std::uint64_t>>(
+    const std::unordered_map<ItemId, std::uint64_t>&)>;
+
+struct IssuerOptions {
+  // Default PA back-off interval INT_i when the spec leaves it zero.
+  Timestamp default_backoff_interval = 64;
+  // Constant offset added to this site's clock when generating timestamps,
+  // modelling loosely synchronized site clocks (no NTP in 1988): skewed
+  // clocks are what makes requests arrive out of timestamp order, causing
+  // T/O rejects and PA back-offs.
+  Duration clock_skew = 0;
+  // Mean of the exponential restart delay after a T/O reject or a deadlock
+  // abort (the paper's "cost of restarts" parameter).
+  Duration restart_delay_mean = 20 * kMillisecond;
+  // When false, T/O commits never take the semi-lock path (used with pure
+  // backends and with the lock-everything ablation).
+  bool semi_locks = true;
+};
+
+// Event hooks consumed by metrics and the STL parameter estimator.
+struct IssuerEvents {
+  CommitCallback on_commit;
+  // A request message was sent (per incarnation).
+  std::function<void(Protocol, OpType)> on_request_sent;
+  // An incarnation aborted (reject or deadlock victim).
+  std::function<void(Protocol, TxnOutcome)> on_restart;
+  // Lock-time sample: grant-to-release (committed) or grant-to-abort
+  // (aborted) for one request.
+  std::function<void(Protocol, Duration, bool aborted)> on_lock_hold;
+};
+
+class RequestIssuer : public Issuer {
+ public:
+  RequestIssuer(SiteId site, CcContext ctx, const Catalog* catalog,
+                IssuerOptions options, Rng rng, IssuerEvents events);
+
+  // Optional per-transaction compute functions (e.g. banking transfers).
+  // Must be installed before Begin for that transaction.
+  void SetCompute(TxnId txn, ComputeFn fn);
+
+  void Begin(const TxnSpec& spec) override;
+  void OnGrant(const msg::Grant& m) override;
+  void OnBackoff(const msg::Backoff& m) override;
+  void OnPaAccept(const msg::PaAccept& m) override;
+  void OnReject(const msg::Reject& m) override;
+  void OnVictim(const msg::Victim& m) override;
+
+  bool IsActive(TxnId txn) const override;
+  std::size_t ActiveCount() const override { return active_.size(); }
+
+  // Copies at which `txn` has sent requests that are not yet granted; used
+  // by the edge-chasing deadlock detector to forward probes.
+  std::vector<CopyId> WaitingCopies(TxnId txn) const;
+
+  // Transactions of `proto` whose current incarnation has been waiting for
+  // grants for at least `min_wait`; used for probe initiation.
+  struct WaitingTxn {
+    TxnId txn;
+    Attempt attempt;
+  };
+  std::vector<WaitingTxn> LongWaiting(Protocol proto,
+                                      Duration min_wait) const;
+
+  SiteId site() const { return site_; }
+
+  // Counters (cumulative over the issuer's lifetime).
+  std::uint64_t commits() const { return commits_; }
+  std::uint64_t reject_restarts() const { return reject_restarts_; }
+  std::uint64_t deadlock_restarts() const { return deadlock_restarts_; }
+  std::uint64_t backoff_rounds() const { return backoff_rounds_; }
+  std::uint64_t semi_commits() const { return semi_commits_; }
+
+ private:
+  struct PhysReq {
+    CopyId copy;
+    OpType op;
+  };
+  struct ReqState {
+    bool responded = false;  // got grant or back-off (PA round accounting)
+    bool granted = false;
+    bool normal = false;
+    Timestamp backoff_offer = 0;
+    std::uint64_t value = 0;
+    bool has_value = false;
+    SimTime grant_time = 0;
+  };
+  struct ActiveTxn {
+    TxnSpec spec;
+    Attempt attempt = 1;
+    SimTime arrival = 0;
+    SimTime attempt_start = 0;
+    Timestamp ts = 0;
+    Timestamp interval = 1;
+    std::vector<PhysReq> reqs;
+    std::unordered_map<CopyId, ReqState> st;
+    std::size_t grants = 0;
+    std::size_t normals = 0;
+    std::size_t responses = 0;
+    bool negotiated = false;   // PA: final timestamp sent
+    bool executing = false;    // compute phase scheduled
+    std::uint32_t backoff_rounds = 0;
+    std::uint32_t attempts_total = 1;
+    ComputeFn compute;
+  };
+  // Residual state of a T/O transaction that committed via the semi-lock
+  // path: still collecting normal grants before sending releases.
+  struct Lingering {
+    Attempt attempt = 1;
+    std::vector<CopyId> copies;
+    std::unordered_map<CopyId, bool> normal;
+    std::size_t normals = 0;
+  };
+
+  void StartAttempt(ActiveTxn& t);
+  void CheckProgress(ActiveTxn& t);
+  void Execute(ActiveTxn& t);
+  void Commit(ActiveTxn& t);
+  void AbortAndRestart(ActiveTxn& t, TxnOutcome why);
+  void ReportLockHolds(const ActiveTxn& t, bool aborted);
+  void FinishLingering(TxnId txn, Lingering& lg);
+
+  ActiveTxn* FindActive(TxnId txn, Attempt attempt);
+
+  SiteId site_;
+  CcContext ctx_;
+  const Catalog* catalog_;
+  IssuerOptions options_;
+  Rng rng_;
+  IssuerEvents events_;
+  TimestampGenerator tsgen_;
+
+  std::unordered_map<TxnId, ActiveTxn> active_;
+  std::unordered_map<TxnId, Lingering> lingering_;
+  std::unordered_map<TxnId, ComputeFn> pending_compute_;
+
+  std::uint64_t commits_ = 0;
+  std::uint64_t reject_restarts_ = 0;
+  std::uint64_t deadlock_restarts_ = 0;
+  std::uint64_t backoff_rounds_ = 0;
+  std::uint64_t semi_commits_ = 0;
+};
+
+}  // namespace unicc
+
+#endif  // UNICC_CC_UNIFIED_ISSUER_H_

@@ -1,0 +1,28 @@
+// Internal invariant checking. UNICC_CHECK aborts with a message when an
+// invariant is violated; it is always on (the simulator is cheap enough that
+// we never want silent corruption in an experiment).
+#ifndef UNICC_COMMON_CHECK_H_
+#define UNICC_COMMON_CHECK_H_
+
+#include <cstdio>
+#include <cstdlib>
+
+#define UNICC_CHECK(cond)                                                  \
+  do {                                                                     \
+    if (!(cond)) {                                                         \
+      std::fprintf(stderr, "UNICC_CHECK failed at %s:%d: %s\n", __FILE__,  \
+                   __LINE__, #cond);                                       \
+      std::abort();                                                        \
+    }                                                                      \
+  } while (0)
+
+#define UNICC_CHECK_MSG(cond, msg)                                         \
+  do {                                                                     \
+    if (!(cond)) {                                                         \
+      std::fprintf(stderr, "UNICC_CHECK failed at %s:%d: %s (%s)\n",       \
+                   __FILE__, __LINE__, #cond, msg);                        \
+      std::abort();                                                        \
+    }                                                                      \
+  } while (0)
+
+#endif  // UNICC_COMMON_CHECK_H_

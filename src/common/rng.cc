@@ -1,0 +1,106 @@
+#include "common/rng.h"
+
+#include <cmath>
+
+#include "common/check.h"
+
+namespace unicc {
+
+namespace {
+
+std::uint64_t SplitMix64(std::uint64_t& x) {
+  x += 0x9e3779b97f4a7c15ULL;
+  std::uint64_t z = x;
+  z = (z ^ (z >> 30)) * 0xbf58476d1ce4e5b9ULL;
+  z = (z ^ (z >> 27)) * 0x94d049bb133111ebULL;
+  return z ^ (z >> 31);
+}
+
+std::uint64_t Rotl(std::uint64_t x, int k) {
+  return (x << k) | (x >> (64 - k));
+}
+
+}  // namespace
+
+Rng::Rng(std::uint64_t seed) {
+  std::uint64_t x = seed;
+  for (auto& s : s_) s = SplitMix64(x);
+}
+
+std::uint64_t Rng::Next() {
+  const std::uint64_t result = Rotl(s_[1] * 5, 7) * 9;
+  const std::uint64_t t = s_[1] << 17;
+  s_[2] ^= s_[0];
+  s_[3] ^= s_[1];
+  s_[1] ^= s_[2];
+  s_[0] ^= s_[3];
+  s_[2] ^= t;
+  s_[3] = Rotl(s_[3], 45);
+  return result;
+}
+
+std::uint64_t Rng::UniformInt(std::uint64_t n) {
+  UNICC_CHECK(n > 0);
+  // Rejection sampling to avoid modulo bias.
+  const std::uint64_t limit = ~std::uint64_t{0} - (~std::uint64_t{0} % n);
+  std::uint64_t v = Next();
+  while (v >= limit) v = Next();
+  return v % n;
+}
+
+std::uint64_t Rng::UniformRange(std::uint64_t lo, std::uint64_t hi) {
+  UNICC_CHECK(lo <= hi);
+  return lo + UniformInt(hi - lo + 1);
+}
+
+double Rng::UniformDouble() {
+  return static_cast<double>(Next() >> 11) * 0x1.0p-53;
+}
+
+double Rng::Exponential(double mean) {
+  UNICC_CHECK(mean > 0);
+  double u = UniformDouble();
+  // Guard against log(0).
+  if (u <= 0.0) u = 0x1.0p-53;
+  return -mean * std::log(u);
+}
+
+bool Rng::Bernoulli(double p) {
+  if (p <= 0) return false;
+  if (p >= 1) return true;
+  return UniformDouble() < p;
+}
+
+Rng Rng::Fork() { return Rng(Next() ^ 0xa5a5a5a5deadbeefULL); }
+
+std::vector<std::uint64_t> Rng::SampleWithoutReplacement(std::uint64_t n,
+                                                         std::uint64_t k) {
+  UNICC_CHECK(k <= n);
+  // Floyd's algorithm, then sort.
+  std::vector<std::uint64_t> out;
+  out.reserve(k);
+  for (std::uint64_t j = n - k; j < n; ++j) {
+    std::uint64_t t = UniformInt(j + 1);
+    bool found = false;
+    for (auto v : out) {
+      if (v == t) {
+        found = true;
+        break;
+      }
+    }
+    out.push_back(found ? j : t);
+  }
+  // Insertion sort: k is small in practice.
+  for (std::size_t i = 1; i < out.size(); ++i) {
+    auto v = out[i];
+    std::size_t j = i;
+    while (j > 0 && out[j - 1] > v) {
+      out[j] = out[j - 1];
+      --j;
+    }
+    out[j] = v;
+  }
+  return out;
+}
+
+}  // namespace unicc

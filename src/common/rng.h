@@ -1,0 +1,50 @@
+// Deterministic random number generation. All stochastic behaviour in a run
+// (arrivals, item choices, delays) flows from one seeded root Rng, so runs
+// are bit-for-bit reproducible and can be swept over seeds.
+#ifndef UNICC_COMMON_RNG_H_
+#define UNICC_COMMON_RNG_H_
+
+#include <cstdint>
+#include <vector>
+
+namespace unicc {
+
+// xoshiro256** with a splitmix64 seeder. Not cryptographic; fast and
+// high-quality for simulation use.
+class Rng {
+ public:
+  explicit Rng(std::uint64_t seed);
+
+  // Uniform over all 64-bit values.
+  std::uint64_t Next();
+
+  // Uniform integer in [0, n). Requires n > 0.
+  std::uint64_t UniformInt(std::uint64_t n);
+
+  // Uniform integer in [lo, hi] inclusive. Requires lo <= hi.
+  std::uint64_t UniformRange(std::uint64_t lo, std::uint64_t hi);
+
+  // Uniform double in [0, 1).
+  double UniformDouble();
+
+  // Exponentially distributed double with the given mean (> 0).
+  double Exponential(double mean);
+
+  // True with probability p (clamped to [0,1]).
+  bool Bernoulli(double p);
+
+  // Derives an independent child generator; used to give each subsystem its
+  // own stream so adding draws in one place does not perturb another.
+  Rng Fork();
+
+  // Samples k distinct values from [0, n) (k <= n), in increasing order.
+  std::vector<std::uint64_t> SampleWithoutReplacement(std::uint64_t n,
+                                                      std::uint64_t k);
+
+ private:
+  std::uint64_t s_[4];
+};
+
+}  // namespace unicc
+
+#endif  // UNICC_COMMON_RNG_H_

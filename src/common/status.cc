@@ -1,0 +1,57 @@
+#include "common/status.h"
+
+#include <string_view>
+
+#include "common/types.h"
+
+namespace unicc {
+
+namespace {
+
+std::string_view CodeName(StatusCode code) {
+  switch (code) {
+    case StatusCode::kOk:
+      return "OK";
+    case StatusCode::kInvalidArgument:
+      return "InvalidArgument";
+    case StatusCode::kNotFound:
+      return "NotFound";
+    case StatusCode::kAlreadyExists:
+      return "AlreadyExists";
+    case StatusCode::kFailedPrecondition:
+      return "FailedPrecondition";
+    case StatusCode::kInternal:
+      return "Internal";
+    case StatusCode::kUnimplemented:
+      return "Unimplemented";
+  }
+  return "Unknown";
+}
+
+}  // namespace
+
+std::string Status::ToString() const {
+  if (ok()) return "OK";
+  std::string out(CodeName(code_));
+  out += ": ";
+  out += message_;
+  return out;
+}
+
+std::string_view ProtocolName(Protocol p) {
+  switch (p) {
+    case Protocol::kTwoPhaseLocking:
+      return "2PL";
+    case Protocol::kTimestampOrdering:
+      return "T/O";
+    case Protocol::kPrecedenceAgreement:
+      return "PA";
+  }
+  return "?";
+}
+
+std::string_view OpTypeName(OpType t) {
+  return t == OpType::kRead ? "r" : "w";
+}
+
+}  // namespace unicc

@@ -1,0 +1,101 @@
+// Status / StatusOr: RocksDB/Arrow-style error propagation for the public
+// API. Internal simulator invariants use UNICC_CHECK instead.
+#ifndef UNICC_COMMON_STATUS_H_
+#define UNICC_COMMON_STATUS_H_
+
+#include <string>
+#include <utility>
+#include <variant>
+
+#include "common/check.h"
+
+namespace unicc {
+
+enum class StatusCode : int {
+  kOk = 0,
+  kInvalidArgument = 1,
+  kNotFound = 2,
+  kAlreadyExists = 3,
+  kFailedPrecondition = 4,
+  kInternal = 5,
+  kUnimplemented = 6,
+};
+
+// A lightweight status object. Cheap to copy in the OK case.
+class Status {
+ public:
+  Status() = default;
+  Status(StatusCode code, std::string message)
+      : code_(code), message_(std::move(message)) {}
+
+  static Status OK() { return Status(); }
+  static Status InvalidArgument(std::string msg) {
+    return Status(StatusCode::kInvalidArgument, std::move(msg));
+  }
+  static Status NotFound(std::string msg) {
+    return Status(StatusCode::kNotFound, std::move(msg));
+  }
+  static Status AlreadyExists(std::string msg) {
+    return Status(StatusCode::kAlreadyExists, std::move(msg));
+  }
+  static Status FailedPrecondition(std::string msg) {
+    return Status(StatusCode::kFailedPrecondition, std::move(msg));
+  }
+  static Status Internal(std::string msg) {
+    return Status(StatusCode::kInternal, std::move(msg));
+  }
+  static Status Unimplemented(std::string msg) {
+    return Status(StatusCode::kUnimplemented, std::move(msg));
+  }
+
+  bool ok() const { return code_ == StatusCode::kOk; }
+  StatusCode code() const { return code_; }
+  const std::string& message() const { return message_; }
+
+  // Human-readable representation, e.g. "InvalidArgument: bad size".
+  std::string ToString() const;
+
+  friend bool operator==(const Status& a, const Status& b) {
+    return a.code_ == b.code_ && a.message_ == b.message_;
+  }
+
+ private:
+  StatusCode code_ = StatusCode::kOk;
+  std::string message_;
+};
+
+// Holds either a value or an error status.
+template <typename T>
+class StatusOr {
+ public:
+  StatusOr(Status s) : rep_(std::move(s)) {  // NOLINT: implicit by design
+    UNICC_CHECK(!std::get<Status>(rep_).ok());
+  }
+  StatusOr(T value) : rep_(std::move(value)) {}  // NOLINT: implicit by design
+
+  bool ok() const { return std::holds_alternative<T>(rep_); }
+  Status status() const {
+    return ok() ? Status::OK() : std::get<Status>(rep_);
+  }
+  const T& value() const& {
+    UNICC_CHECK(ok());
+    return std::get<T>(rep_);
+  }
+  T& value() & {
+    UNICC_CHECK(ok());
+    return std::get<T>(rep_);
+  }
+  T&& value() && {
+    UNICC_CHECK(ok());
+    return std::get<T>(std::move(rep_));
+  }
+  const T& operator*() const& { return value(); }
+  const T* operator->() const { return &value(); }
+
+ private:
+  std::variant<Status, T> rep_;
+};
+
+}  // namespace unicc
+
+#endif  // UNICC_COMMON_STATUS_H_

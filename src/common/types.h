@@ -1,0 +1,72 @@
+// Fundamental identifier and time types shared by every unicc module.
+#ifndef UNICC_COMMON_TYPES_H_
+#define UNICC_COMMON_TYPES_H_
+
+#include <cstdint>
+#include <functional>
+#include <string>
+
+namespace unicc {
+
+// Identifier of a transaction. Unique across the whole system for the
+// lifetime of a run; restarted incarnations of a transaction keep their id
+// (the attempt counter is tracked separately).
+using TxnId = std::uint64_t;
+
+// Identifier of a computer site (user site or data site).
+using SiteId = std::uint32_t;
+
+// Identifier of a logical data item D_i.
+using ItemId = std::uint32_t;
+
+// A physical copy D_ij of logical item `item` stored at site `site`.
+struct CopyId {
+  ItemId item = 0;
+  SiteId site = 0;
+
+  friend bool operator==(const CopyId&, const CopyId&) = default;
+  friend auto operator<=>(const CopyId&, const CopyId&) = default;
+};
+
+// Timestamps are drawn from the natural numbers (paper, Section 3.4); each
+// request issuer generates strictly increasing values fused from simulated
+// time so that timestamps loosely track real arrival order across sites.
+using Timestamp = std::uint64_t;
+
+// Simulated time in microseconds since the start of the run.
+using SimTime = std::uint64_t;
+// A duration in simulated microseconds.
+using Duration = std::uint64_t;
+
+inline constexpr Duration kMicrosecond = 1;
+inline constexpr Duration kMillisecond = 1000;
+inline constexpr Duration kSecond = 1000 * 1000;
+
+// The three concurrency control protocols a transaction may choose
+// (paper, Section 1).
+enum class Protocol : std::uint8_t {
+  kTwoPhaseLocking = 0,  // static 2PL
+  kTimestampOrdering = 1,  // Basic T/O
+  kPrecedenceAgreement = 2,  // PA (Section 3.4)
+};
+
+inline constexpr int kNumProtocols = 3;
+
+// Physical operation type. Logical operations are translated 1:1 for reads
+// and 1:N (one per copy) for writes under read-one/write-all replication.
+enum class OpType : std::uint8_t { kRead = 0, kWrite = 1 };
+
+// Returns a short display name, e.g. "2PL".
+std::string_view ProtocolName(Protocol p);
+std::string_view OpTypeName(OpType t);
+
+}  // namespace unicc
+
+template <>
+struct std::hash<unicc::CopyId> {
+  std::size_t operator()(const unicc::CopyId& c) const noexcept {
+    return (static_cast<std::size_t>(c.item) << 20) ^ c.site;
+  }
+};
+
+#endif  // UNICC_COMMON_TYPES_H_

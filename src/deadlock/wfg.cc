@@ -1,0 +1,88 @@
+#include "deadlock/wfg.h"
+
+#include <algorithm>
+
+namespace unicc {
+
+const std::unordered_set<TxnId> WaitForGraph::kEmpty;
+
+void WaitForGraph::AddEdge(TxnId waiter, TxnId holder) {
+  if (waiter == holder) return;
+  adj_[waiter].insert(holder);
+  adj_.try_emplace(holder);
+}
+
+void WaitForGraph::AddEdges(const std::vector<WaitEdge>& edges) {
+  for (const WaitEdge& e : edges) AddEdge(e.waiter, e.holder);
+}
+
+void WaitForGraph::RemoveNode(TxnId txn) {
+  adj_.erase(txn);
+  for (auto& [node, outs] : adj_) outs.erase(txn);
+}
+
+std::size_t WaitForGraph::NumEdges() const {
+  std::size_t n = 0;
+  for (const auto& [node, outs] : adj_) n += outs.size();
+  return n;
+}
+
+const std::unordered_set<TxnId>& WaitForGraph::OutEdges(TxnId txn) const {
+  auto it = adj_.find(txn);
+  return it == adj_.end() ? kEmpty : it->second;
+}
+
+std::vector<TxnId> WaitForGraph::FindCycle() const {
+  // Iterative DFS with tri-colour marking; reconstructs the cycle from the
+  // explicit stack when a grey node is revisited.
+  enum class Colour : std::uint8_t { kWhite, kGrey, kBlack };
+  std::unordered_map<TxnId, Colour> colour;
+  colour.reserve(adj_.size());
+  for (const auto& [node, outs] : adj_) colour[node] = Colour::kWhite;
+
+  struct Frame {
+    TxnId node;
+    std::vector<TxnId> next;
+    std::size_t idx = 0;
+  };
+
+  for (const auto& [start, outs0] : adj_) {
+    if (colour[start] != Colour::kWhite) continue;
+    std::vector<Frame> stack;
+    auto push = [&](TxnId n) {
+      colour[n] = Colour::kGrey;
+      Frame f;
+      f.node = n;
+      const auto& outs = OutEdges(n);
+      f.next.assign(outs.begin(), outs.end());
+      // Deterministic order for reproducible victim choice.
+      std::sort(f.next.begin(), f.next.end());
+      stack.push_back(std::move(f));
+    };
+    push(start);
+    while (!stack.empty()) {
+      Frame& top = stack.back();
+      if (top.idx >= top.next.size()) {
+        colour[top.node] = Colour::kBlack;
+        stack.pop_back();
+        continue;
+      }
+      const TxnId succ = top.next[top.idx++];
+      const Colour c = colour[succ];
+      if (c == Colour::kGrey) {
+        // Cycle: unwind the stack from succ to top.
+        std::vector<TxnId> cycle;
+        bool in_cycle = false;
+        for (const Frame& f : stack) {
+          if (f.node == succ) in_cycle = true;
+          if (in_cycle) cycle.push_back(f.node);
+        }
+        return cycle;
+      }
+      if (c == Colour::kWhite) push(succ);
+    }
+  }
+  return {};
+}
+
+}  // namespace unicc

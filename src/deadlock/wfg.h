@@ -1,0 +1,43 @@
+// Wait-for graph with cycle detection, used by the centralized deadlock
+// detector and by tests.
+#ifndef UNICC_DEADLOCK_WFG_H_
+#define UNICC_DEADLOCK_WFG_H_
+
+#include <unordered_map>
+#include <unordered_set>
+#include <vector>
+
+#include "common/types.h"
+#include "net/message.h"
+
+namespace unicc {
+
+class WaitForGraph {
+ public:
+  WaitForGraph() = default;
+
+  void AddEdge(TxnId waiter, TxnId holder);
+  void AddEdges(const std::vector<WaitEdge>& edges);
+
+  // Removes a node and all incident edges (victim abort).
+  void RemoveNode(TxnId txn);
+
+  // Finds one cycle and returns its nodes in order (empty when acyclic).
+  std::vector<TxnId> FindCycle() const;
+
+  // True when no cycle exists.
+  bool IsAcyclic() const { return FindCycle().empty(); }
+
+  std::size_t NumNodes() const { return adj_.size(); }
+  std::size_t NumEdges() const;
+
+  const std::unordered_set<TxnId>& OutEdges(TxnId txn) const;
+
+ private:
+  std::unordered_map<TxnId, std::unordered_set<TxnId>> adj_;
+  static const std::unordered_set<TxnId> kEmpty;
+};
+
+}  // namespace unicc
+
+#endif  // UNICC_DEADLOCK_WFG_H_

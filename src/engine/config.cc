@@ -1,0 +1,27 @@
+#include "engine/config.h"
+
+namespace unicc {
+
+Status EngineOptions::Validate() const {
+  if (num_user_sites == 0) {
+    return Status::InvalidArgument("need at least one user site");
+  }
+  if (num_data_sites == 0) {
+    return Status::InvalidArgument("need at least one data site");
+  }
+  if (num_items == 0) {
+    return Status::InvalidArgument("need at least one item");
+  }
+  if (replication == 0 || replication > num_data_sites) {
+    return Status::InvalidArgument("replication must be in [1, data sites]");
+  }
+  if (backend == BackendKind::kPure &&
+      pure_protocol == Protocol::kTimestampOrdering &&
+      detector == DetectorKind::kProbe) {
+    return Status::InvalidArgument(
+        "probe detection is pointless under pure T/O (no deadlocks)");
+  }
+  return Status::OK();
+}
+
+}  // namespace unicc

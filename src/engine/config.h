@@ -1,0 +1,71 @@
+// Engine configuration: cluster shape, substrate parameters and the choice
+// of concurrency-control backend. These are the knobs the paper's Section 1
+// lists as performance-relevant (arrival rate and mix live in
+// WorkloadOptions): transmission delay, transaction size, restart cost,
+// deadlock detection time/cost.
+#ifndef UNICC_ENGINE_CONFIG_H_
+#define UNICC_ENGINE_CONFIG_H_
+
+#include <cstdint>
+
+#include "cc/unified/issuer.h"
+#include "cc/unified/queue_manager.h"
+#include "common/status.h"
+#include "common/types.h"
+#include "deadlock/central_detector.h"
+#include "deadlock/probe_detector.h"
+#include "net/transport.h"
+
+namespace unicc {
+
+// Which queue-manager stack serves the data sites.
+enum class BackendKind : std::uint8_t {
+  // Independent per-protocol implementation; the whole workload must use
+  // `pure_protocol`. Used for the baseline curves.
+  kPure = 0,
+  // The paper's unified system: any per-transaction protocol mix.
+  kUnified = 1,
+};
+
+enum class DetectorKind : std::uint8_t {
+  kNone = 0,
+  kCentral = 1,  // periodic global WFG snapshots
+  kProbe = 2,    // Chandy-Misra-Haas edge chasing
+};
+
+struct EngineOptions {
+  std::uint32_t num_user_sites = 4;
+  std::uint32_t num_data_sites = 4;
+  ItemId num_items = 128;
+  std::uint32_t replication = 1;
+
+  NetworkOptions network;
+
+  BackendKind backend = BackendKind::kUnified;
+  Protocol pure_protocol = Protocol::kTwoPhaseLocking;  // kPure only
+  // False selects the lock-everything ablation of Section 4.2.
+  bool semi_locks = true;
+
+  DetectorKind detector = DetectorKind::kCentral;
+  CentralDetectorOptions central_detector;
+  ProbeDetectorOptions probe_detector;
+
+  // Restart delay / PA back-off interval.
+  Duration restart_delay_mean = 20 * kMillisecond;
+  Timestamp default_backoff_interval = 64;
+  // Each user site's clock is offset by a uniform draw from
+  // [0, max_clock_skew]; 0 gives perfectly synchronized timestamps (and
+  // hence almost no T/O rejects or PA back-offs). Out-of-timestamp-order
+  // arrivals only happen when the skew between two sites exceeds the
+  // grant latency, so this should be a few times the one-way delay;
+  // era-appropriate clock skews comfortably exceeded network RTTs.
+  Duration max_clock_skew = 50 * kMillisecond;
+
+  std::uint64_t seed = 42;
+
+  Status Validate() const;
+};
+
+}  // namespace unicc
+
+#endif  // UNICC_ENGINE_CONFIG_H_

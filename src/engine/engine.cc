@@ -1,0 +1,346 @@
+#include "engine/engine.h"
+
+#include <utility>
+#include <variant>
+
+#include "cc/pa/pa_manager.h"
+#include "cc/to/to_manager.h"
+#include "cc/twopl/lock_manager.h"
+#include "cc/unified/queue_manager.h"
+#include "common/check.h"
+
+namespace unicc {
+
+Engine::Engine(EngineOptions options, EngineCallbacks callbacks)
+    : options_(std::move(options)),
+      callbacks_(std::move(callbacks)),
+      root_rng_(options_.seed) {
+  UNICC_CHECK_MSG(options_.Validate().ok(), "invalid engine options");
+  BuildSites();
+}
+
+Engine::~Engine() = default;
+
+DataSiteBackend* Engine::BackendAt(SiteId site) {
+  const SiteId idx = site - options_.num_user_sites;
+  UNICC_CHECK(idx < backends_.size());
+  return backends_[idx].get();
+}
+
+RequestIssuer* Engine::IssuerAt(SiteId site) {
+  UNICC_CHECK(site < issuers_.size());
+  return issuers_[site].get();
+}
+
+void Engine::BuildSites() {
+  const std::uint32_t num_user = options_.num_user_sites;
+  const std::uint32_t num_data = options_.num_data_sites;
+  detector_site_ = num_user + num_data;
+
+  transport_ = std::make_unique<SimTransport>(&sim_, options_.network,
+                                              root_rng_.Fork());
+
+  std::vector<SiteId> data_sites;
+  for (std::uint32_t i = 0; i < num_data; ++i) {
+    data_sites.push_back(num_user + i);
+  }
+  auto catalog =
+      Catalog::Make(options_.num_items, data_sites, options_.replication);
+  UNICC_CHECK(catalog.ok());
+  catalog_ = std::make_unique<Catalog>(std::move(catalog).value());
+
+  CcContext ctx;
+  ctx.sim = &sim_;
+  ctx.transport = transport_.get();
+  ctx.log = &log_;
+
+  CcHooks qm_hooks;
+  qm_hooks.on_grant = [this](const CopyId& c, OpType op, Protocol p) {
+    if (callbacks_.on_grant) callbacks_.on_grant(c, op, p);
+  };
+  qm_hooks.on_reject = [this](OpType op, Protocol p) {
+    if (callbacks_.on_reject) callbacks_.on_reject(op, p);
+  };
+  qm_hooks.on_backoff_offer = [this](OpType op) {
+    if (callbacks_.on_backoff_offer) callbacks_.on_backoff_offer(op);
+  };
+
+  // Data sites.
+  for (SiteId s : data_sites) {
+    std::unique_ptr<DataSiteBackend> backend;
+    if (options_.backend == BackendKind::kUnified) {
+      UnifiedQmOptions qm;
+      qm.semi_locks = options_.semi_locks;
+      backend = std::make_unique<UnifiedQueueManager>(s, ctx, qm, qm_hooks);
+    } else {
+      switch (options_.pure_protocol) {
+        case Protocol::kTwoPhaseLocking:
+          backend = std::make_unique<TwoPlLockManager>(s, ctx, qm_hooks);
+          break;
+        case Protocol::kTimestampOrdering:
+          backend = std::make_unique<BasicToManager>(s, ctx, qm_hooks);
+          break;
+        case Protocol::kPrecedenceAgreement:
+          backend = std::make_unique<PaQueueManager>(s, ctx, qm_hooks);
+          break;
+      }
+    }
+    backends_.push_back(std::move(backend));
+    transport_->RegisterSite(s, [this, s](SiteId from, const Message& m) {
+      RouteToDataSite(s, from, m);
+    });
+  }
+
+  // User sites.
+  IssuerOptions issuer_options;
+  issuer_options.default_backoff_interval = options_.default_backoff_interval;
+  issuer_options.restart_delay_mean = options_.restart_delay_mean;
+  issuer_options.semi_locks =
+      options_.semi_locks && options_.backend == BackendKind::kUnified;
+  for (std::uint32_t u = 0; u < num_user; ++u) {
+    if (options_.max_clock_skew > 0) {
+      issuer_options.clock_skew =
+          root_rng_.UniformInt(options_.max_clock_skew + 1);
+    }
+    IssuerEvents events;
+    events.on_commit = [this](const TxnResult& r) {
+      metrics_.OnCommit(r);
+      committed_[r.id] = r.attempts;
+      ++committed_count_;
+      last_commit_ = sim_.Now();
+      if (committed_count_ == admitted_) stopped_ = true;
+      if (callbacks_.on_commit) callbacks_.on_commit(r);
+    };
+    events.on_request_sent = [this](Protocol p, OpType op) {
+      if (callbacks_.on_request_sent) callbacks_.on_request_sent(p, op);
+    };
+    events.on_lock_hold = [this](Protocol p, Duration d, bool aborted) {
+      if (callbacks_.on_lock_hold) callbacks_.on_lock_hold(p, d, aborted);
+    };
+    events.on_restart = [this](Protocol p, TxnOutcome why) {
+      metrics_.OnRestart(p, why);
+      if (callbacks_.on_restart) callbacks_.on_restart(p, why);
+    };
+    issuers_.push_back(std::make_unique<RequestIssuer>(
+        u, ctx, catalog_.get(), issuer_options, root_rng_.Fork(), events));
+    transport_->RegisterSite(u, [this, u](SiteId from, const Message& m) {
+      RouteToUserSite(u, from, m);
+    });
+  }
+
+  // Deadlock detection.
+  TxnDirectory directory;
+  directory.protocol_of = [this](TxnId t) {
+    auto it = txn_meta_.find(t);
+    return it == txn_meta_.end() ? Protocol::kTwoPhaseLocking
+                                 : it->second.protocol;
+  };
+  directory.home_of = [this](TxnId t) {
+    auto it = txn_meta_.find(t);
+    return it == txn_meta_.end() ? SiteId{0} : it->second.home;
+  };
+  transport_->RegisterSite(detector_site_,
+                           [this](SiteId from, const Message& m) {
+                             RouteToDetectorSite(from, m);
+                           });
+  if (options_.detector == DetectorKind::kCentral) {
+    central_detector_ = std::make_unique<CentralDeadlockDetector>(
+        detector_site_, ctx, options_.central_detector, data_sites,
+        directory);
+    central_detector_->SetStopFlag(&stopped_);
+    central_detector_->Start();
+  } else if (options_.detector == DetectorKind::kProbe) {
+    for (std::uint32_t u = 0; u < num_user; ++u) {
+      auto det = std::make_unique<ProbeDeadlockDetector>(
+          u, ctx, options_.probe_detector, issuers_[u].get(), directory);
+      det->SetStopFlag(&stopped_);
+      det->Start();
+      probe_detectors_.push_back(std::move(det));
+    }
+  }
+}
+
+void Engine::RouteToUserSite(SiteId site, SiteId from, const Message& m) {
+  (void)from;
+  RequestIssuer* issuer = IssuerAt(site);
+  if (const auto* g = std::get_if<msg::Grant>(&m)) {
+    issuer->OnGrant(*g);
+  } else if (const auto* b = std::get_if<msg::Backoff>(&m)) {
+    issuer->OnBackoff(*b);
+  } else if (const auto* pa = std::get_if<msg::PaAccept>(&m)) {
+    issuer->OnPaAccept(*pa);
+  } else if (const auto* r = std::get_if<msg::Reject>(&m)) {
+    issuer->OnReject(*r);
+  } else if (const auto* v = std::get_if<msg::Victim>(&m)) {
+    issuer->OnVictim(*v);
+  } else if (const auto* p = std::get_if<msg::Probe>(&m)) {
+    if (site < probe_detectors_.size()) probe_detectors_[site]->OnProbe(*p);
+  } else {
+    UNICC_CHECK_MSG(false, "unexpected message at user site");
+  }
+}
+
+void Engine::RouteToDataSite(SiteId site, SiteId from, const Message& m) {
+  DataSiteBackend* backend = BackendAt(site);
+  if (const auto* r = std::get_if<msg::CcRequest>(&m)) {
+    backend->OnRequest(*r);
+  } else if (const auto* f = std::get_if<msg::FinalTs>(&m)) {
+    backend->OnFinalTs(*f);
+  } else if (const auto* rel = std::get_if<msg::Release>(&m)) {
+    backend->OnRelease(*rel);
+  } else if (const auto* st = std::get_if<msg::SemiTransform>(&m)) {
+    backend->OnSemiTransform(*st);
+  } else if (const auto* ab = std::get_if<msg::AbortTxn>(&m)) {
+    backend->OnAbort(*ab);
+  } else if (const auto* snap = std::get_if<msg::WfgSnapshotRequest>(&m)) {
+    msg::WfgSnapshotReply reply;
+    reply.round = snap->round;
+    backend->CollectWaitEdges(&reply.edges);
+    transport_->Send(site, from, reply);
+  } else if (const auto* pq = std::get_if<msg::ProbeQuery>(&m)) {
+    CcContext ctx;
+    ctx.sim = &sim_;
+    ctx.transport = transport_.get();
+    ctx.log = &log_;
+    TxnDirectory directory;
+    directory.protocol_of = [this](TxnId t) {
+      auto it = txn_meta_.find(t);
+      return it == txn_meta_.end() ? Protocol::kTwoPhaseLocking
+                                   : it->second.protocol;
+    };
+    directory.home_of = [this](TxnId t) {
+      auto it = txn_meta_.find(t);
+      return it == txn_meta_.end() ? SiteId{0} : it->second.home;
+    };
+    HandleProbeQuery(site, ctx, *backend, directory, *pq);
+  } else {
+    UNICC_CHECK_MSG(false, "unexpected message at data site");
+  }
+}
+
+void Engine::RouteToDetectorSite(SiteId from, const Message& m) {
+  (void)from;
+  if (const auto* reply = std::get_if<msg::WfgSnapshotReply>(&m)) {
+    if (central_detector_) central_detector_->OnSnapshotReply(*reply);
+  } else {
+    UNICC_CHECK_MSG(false, "unexpected message at detector site");
+  }
+}
+
+Status Engine::AddTransaction(SimTime when, TxnSpec spec) {
+  if (Status s = spec.Validate(); !s.ok()) return s;
+  if (spec.home >= options_.num_user_sites) {
+    return Status::InvalidArgument("home is not a user site");
+  }
+  for (ItemId item : spec.read_set) {
+    if (item >= options_.num_items) {
+      return Status::InvalidArgument("read_set item out of range");
+    }
+  }
+  for (ItemId item : spec.write_set) {
+    if (item >= options_.num_items) {
+      return Status::InvalidArgument("write_set item out of range");
+    }
+  }
+  ++admitted_;
+  stopped_ = false;
+  sim_.ScheduleAt(when, [this, spec = std::move(spec)]() mutable {
+    if (policy_) spec.protocol = policy_(spec);
+    if (options_.backend == BackendKind::kPure) {
+      UNICC_CHECK_MSG(spec.protocol == options_.pure_protocol,
+                      "pure backend cannot mix protocols");
+    }
+    txn_meta_[spec.id] = TxnMeta{spec.home, spec.protocol};
+    IssuerAt(spec.home)->Begin(spec);
+  });
+  return Status::OK();
+}
+
+void Engine::SetCompute(TxnId txn, ComputeFn fn) {
+  // The home issuer is not known until admission, so the function is staged
+  // on every issuer; ids are unique, only the home site ever consumes it.
+  for (auto& issuer : issuers_) issuer->SetCompute(txn, fn);
+}
+
+void Engine::SetProtocolPolicy(ProtocolPolicy policy) {
+  policy_ = std::move(policy);
+}
+
+Status Engine::AddWorkload(
+    const std::vector<WorkloadGenerator::Arrival>& arrivals) {
+  for (const auto& a : arrivals) {
+    if (Status s = AddTransaction(a.when, a.spec); !s.ok()) return s;
+  }
+  return Status::OK();
+}
+
+RunSummary Engine::Run() {
+  sim_.RunToCompletion();
+  UNICC_CHECK_MSG(committed_count_ == admitted_,
+                  "run drained with uncommitted transactions");
+  RunSummary s;
+  s.admitted = admitted_;
+  s.committed = committed_count_;
+  s.makespan = last_commit_;
+  s.total_messages = transport_->TotalMessages();
+  s.remote_messages = transport_->RemoteMessages();
+  s.deadlock_victims = deadlock_victim_count();
+  s.mean_system_time_ms = metrics_.MeanSystemTimeMs();
+  for (const auto& issuer : issuers_) {
+    s.reject_restarts += issuer->reject_restarts();
+    s.backoff_rounds += issuer->backoff_rounds();
+  }
+  return s;
+}
+
+SerializabilityReport Engine::CheckSerializability() const {
+  return ConflictGraphChecker::Check(log_, committed_);
+}
+
+std::vector<std::uint64_t> Engine::ReadReplicas(ItemId item) const {
+  std::vector<std::uint64_t> out;
+  for (const CopyId& copy : catalog_->CopiesOf(item)) {
+    const SiteId idx = copy.site - options_.num_user_sites;
+    out.push_back(backends_[idx]->store().Read(copy));
+  }
+  return out;
+}
+
+bool Engine::ReplicasConsistent() const {
+  for (ItemId i = 0; i < options_.num_items; ++i) {
+    const std::vector<std::uint64_t> values = ReadReplicas(i);
+    for (std::uint64_t v : values) {
+      if (v != values.front()) return false;
+    }
+  }
+  return true;
+}
+
+std::string Engine::DebugDump() const {
+  std::string out;
+  char buf[128];
+  std::snprintf(buf, sizeof(buf),
+                "t=%.3fs admitted=%llu committed=%llu pending_events=%zu\n",
+                static_cast<double>(sim_.Now()) / kSecond,
+                static_cast<unsigned long long>(admitted_),
+                static_cast<unsigned long long>(committed_count_),
+                sim_.PendingEvents());
+  out += buf;
+  for (const auto& issuer : issuers_) {
+    std::snprintf(buf, sizeof(buf), "issuer site %u: %zu active\n",
+                  issuer->site(), issuer->ActiveCount());
+    out += buf;
+  }
+  for (const auto& backend : backends_) {
+    out += backend->DebugString();
+  }
+  return out;
+}
+
+std::uint64_t Engine::deadlock_victim_count() const {
+  std::uint64_t n = 0;
+  for (const auto& issuer : issuers_) n += issuer->deadlock_restarts();
+  return n;
+}
+
+}  // namespace unicc

@@ -1,0 +1,140 @@
+// The distributed-DBMS engine: instantiates sites (request issuers at user
+// sites, queue managers at data sites, a deadlock detector at its own
+// site), wires them over the simulated network, admits transactions and
+// runs the event loop to completion.
+//
+// Site numbering: user sites [0, U), data sites [U, U+D), detector at U+D.
+#ifndef UNICC_ENGINE_ENGINE_H_
+#define UNICC_ENGINE_ENGINE_H_
+
+#include <functional>
+#include <memory>
+#include <unordered_map>
+#include <vector>
+
+#include "cc/backend.h"
+#include "cc/unified/issuer.h"
+#include "common/rng.h"
+#include "common/status.h"
+#include "engine/config.h"
+#include "metrics/metrics.h"
+#include "serializability/conflict_graph.h"
+#include "sim/simulator.h"
+#include "storage/catalog.h"
+#include "storage/log.h"
+#include "workload/generator.h"
+
+namespace unicc {
+
+// Optional external observers (the STL parameter estimator subscribes).
+struct EngineCallbacks {
+  std::function<void(const TxnResult&)> on_commit;
+  std::function<void(Protocol, OpType)> on_request_sent;
+  std::function<void(Protocol, Duration, bool aborted)> on_lock_hold;
+  std::function<void(Protocol, TxnOutcome)> on_restart;
+  std::function<void(const CopyId&, OpType, Protocol)> on_grant;
+  std::function<void(OpType, Protocol)> on_reject;
+  std::function<void(OpType)> on_backoff_offer;
+};
+
+// Summary of a completed run.
+struct RunSummary {
+  std::uint64_t admitted = 0;
+  std::uint64_t committed = 0;
+  SimTime makespan = 0;          // time of the last commit
+  std::uint64_t total_messages = 0;
+  std::uint64_t remote_messages = 0;
+  std::uint64_t deadlock_victims = 0;
+  std::uint64_t reject_restarts = 0;
+  std::uint64_t backoff_rounds = 0;
+  double mean_system_time_ms = 0;
+};
+
+class Engine {
+ public:
+  explicit Engine(EngineOptions options, EngineCallbacks callbacks = {});
+  ~Engine();
+  Engine(const Engine&) = delete;
+  Engine& operator=(const Engine&) = delete;
+
+  // Admits one transaction at absolute simulated time `when`. `spec.home`
+  // must be a valid user site; `spec.protocol` is used as-is unless a
+  // protocol policy is installed.
+  Status AddTransaction(SimTime when, TxnSpec spec);
+
+  // Installs a per-transaction compute function (before its arrival).
+  void SetCompute(TxnId txn, ComputeFn fn);
+
+  // Applied at admission time to (re)choose each transaction's protocol;
+  // the dynamic selector plugs in here.
+  void SetProtocolPolicy(ProtocolPolicy policy);
+
+  // Convenience: admit a whole generated workload.
+  Status AddWorkload(const std::vector<WorkloadGenerator::Arrival>& arrivals);
+
+  // Runs the event loop until every admitted transaction committed and all
+  // residual protocol traffic drained. Returns the summary.
+  RunSummary Run();
+
+  // --- post-run inspection --------------------------------------------
+  const RunMetrics& metrics() const { return metrics_; }
+  const ImplementationLog& log() const { return log_; }
+  SerializabilityReport CheckSerializability() const;
+  // Reads the value of every copy of `item`; all replicas must agree at
+  // quiescence under read-one/write-all.
+  std::vector<std::uint64_t> ReadReplicas(ItemId item) const;
+  bool ReplicasConsistent() const;
+
+  Simulator& simulator() { return sim_; }
+  SimTransport& transport() { return *transport_; }
+  const Catalog& catalog() const { return *catalog_; }
+  const EngineOptions& options() const { return options_; }
+
+  std::uint64_t deadlock_victim_count() const;
+  SiteId detector_site() const { return detector_site_; }
+
+  // Human-readable dump of all non-empty data queues and in-flight
+  // transactions (debugging/observability).
+  std::string DebugDump() const;
+
+ private:
+  void BuildSites();
+  void RouteToUserSite(SiteId site, SiteId from, const Message& m);
+  void RouteToDataSite(SiteId site, SiteId from, const Message& m);
+  void RouteToDetectorSite(SiteId from, const Message& m);
+
+  DataSiteBackend* BackendAt(SiteId site);
+  RequestIssuer* IssuerAt(SiteId site);
+
+  EngineOptions options_;
+  EngineCallbacks callbacks_;
+  Rng root_rng_;
+  Simulator sim_;
+  std::unique_ptr<SimTransport> transport_;
+  std::unique_ptr<Catalog> catalog_;
+  ImplementationLog log_;
+  RunMetrics metrics_;
+
+  SiteId detector_site_ = 0;
+  std::vector<std::unique_ptr<RequestIssuer>> issuers_;        // per user site
+  std::vector<std::unique_ptr<DataSiteBackend>> backends_;     // per data site
+  std::unique_ptr<CentralDeadlockDetector> central_detector_;
+  std::vector<std::unique_ptr<ProbeDeadlockDetector>> probe_detectors_;
+
+  ProtocolPolicy policy_;
+  // txn -> (home site, protocol): the directory used by detectors.
+  struct TxnMeta {
+    SiteId home;
+    Protocol protocol;
+  };
+  std::unordered_map<TxnId, TxnMeta> txn_meta_;
+  CommittedSet committed_;
+  std::uint64_t admitted_ = 0;
+  std::uint64_t committed_count_ = 0;
+  SimTime last_commit_ = 0;
+  bool stopped_ = false;
+};
+
+}  // namespace unicc
+
+#endif  // UNICC_ENGINE_ENGINE_H_

@@ -1,0 +1,68 @@
+#include "metrics/metrics.h"
+
+#include <algorithm>
+#include <cmath>
+
+#include "common/check.h"
+
+namespace unicc {
+
+void DurationStat::Add(Duration d) {
+  ++count_;
+  sum_ += static_cast<double>(d);
+  max_ = std::max(max_, d);
+  samples_.push_back(d);
+  sorted_ = false;
+}
+
+double DurationStat::MeanMs() const {
+  if (count_ == 0) return 0;
+  return sum_ / static_cast<double>(count_) / 1000.0;
+}
+
+double DurationStat::PercentileMs(double p) const {
+  if (samples_.empty()) return 0;
+  if (!sorted_) {
+    std::sort(samples_.begin(), samples_.end());
+    sorted_ = true;
+  }
+  const double rank = p / 100.0 * static_cast<double>(samples_.size() - 1);
+  const std::size_t lo = static_cast<std::size_t>(std::floor(rank));
+  const std::size_t hi = std::min(lo + 1, samples_.size() - 1);
+  const double frac = rank - std::floor(rank);
+  const double v = static_cast<double>(samples_[lo]) * (1 - frac) +
+                   static_cast<double>(samples_[hi]) * frac;
+  return v / 1000.0;
+}
+
+double DurationStat::MaxMs() const {
+  return static_cast<double>(max_) / 1000.0;
+}
+
+void RunMetrics::OnCommit(const TxnResult& r) {
+  ++total_committed_;
+  all_system_time_.Add(r.SystemTime());
+  ProtocolStats& ps = ForProtocol(r.protocol);
+  ++ps.committed;
+  ps.system_time.Add(r.SystemTime());
+  ps.backoff_rounds += r.backoffs;
+  ps.restarts += r.attempts - 1;
+  results_.push_back(r);
+}
+
+void RunMetrics::OnRestart(Protocol proto, TxnOutcome why) {
+  (void)proto;
+  if (why == TxnOutcome::kRestartedByReject) {
+    ++reject_restarts_;
+  } else if (why == TxnOutcome::kRestartedByDeadlock) {
+    ++deadlock_restarts_;
+  }
+}
+
+double RunMetrics::ThroughputPerSec(SimTime elapsed) const {
+  if (elapsed == 0) return 0;
+  return static_cast<double>(total_committed_) /
+         (static_cast<double>(elapsed) / static_cast<double>(kSecond));
+}
+
+}  // namespace unicc

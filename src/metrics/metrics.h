@@ -1,0 +1,74 @@
+// Run-level metrics: per-protocol transaction statistics (mean/percentile
+// system time S, attempts, back-offs) and system-wide counters. This is the
+// measurement layer behind every experiment table.
+#ifndef UNICC_METRICS_METRICS_H_
+#define UNICC_METRICS_METRICS_H_
+
+#include <array>
+#include <cstdint>
+#include <vector>
+
+#include "common/types.h"
+#include "txn/transaction.h"
+
+namespace unicc {
+
+// Streaming mean/min/max plus retained samples for percentiles.
+class DurationStat {
+ public:
+  void Add(Duration d);
+  std::uint64_t count() const { return count_; }
+  double MeanMs() const;
+  double PercentileMs(double p) const;  // p in [0,100]
+  double MaxMs() const;
+
+ private:
+  std::uint64_t count_ = 0;
+  double sum_ = 0;
+  Duration max_ = 0;
+  mutable std::vector<Duration> samples_;
+  mutable bool sorted_ = true;
+};
+
+struct ProtocolStats {
+  std::uint64_t committed = 0;
+  std::uint64_t restarts = 0;       // total extra attempts
+  std::uint64_t backoff_rounds = 0;
+  DurationStat system_time;
+};
+
+class RunMetrics {
+ public:
+  void OnCommit(const TxnResult& r);
+  void OnRestart(Protocol proto, TxnOutcome why);
+
+  const ProtocolStats& ForProtocol(Protocol p) const {
+    return per_proto_[static_cast<std::size_t>(p)];
+  }
+  ProtocolStats& ForProtocol(Protocol p) {
+    return per_proto_[static_cast<std::size_t>(p)];
+  }
+
+  std::uint64_t total_committed() const { return total_committed_; }
+  std::uint64_t deadlock_restarts() const { return deadlock_restarts_; }
+  std::uint64_t reject_restarts() const { return reject_restarts_; }
+  double MeanSystemTimeMs() const { return all_system_time_.MeanMs(); }
+  const DurationStat& SystemTime() const { return all_system_time_; }
+
+  // Throughput in committed transactions per simulated second.
+  double ThroughputPerSec(SimTime elapsed) const;
+
+  const std::vector<TxnResult>& results() const { return results_; }
+
+ private:
+  std::array<ProtocolStats, kNumProtocols> per_proto_{};
+  DurationStat all_system_time_;
+  std::uint64_t total_committed_ = 0;
+  std::uint64_t deadlock_restarts_ = 0;
+  std::uint64_t reject_restarts_ = 0;
+  std::vector<TxnResult> results_;
+};
+
+}  // namespace unicc
+
+#endif  // UNICC_METRICS_METRICS_H_

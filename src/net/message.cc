@@ -1,0 +1,45 @@
+#include "net/message.h"
+
+namespace unicc {
+
+MessageKind KindOf(const Message& m) {
+  return static_cast<MessageKind>(m.index());
+}
+
+std::string_view MessageKindName(MessageKind k) {
+  switch (k) {
+    case MessageKind::kCcRequest:
+      return "CcRequest";
+    case MessageKind::kGrant:
+      return "Grant";
+    case MessageKind::kBackoff:
+      return "Backoff";
+    case MessageKind::kPaAccept:
+      return "PaAccept";
+    case MessageKind::kFinalTs:
+      return "FinalTs";
+    case MessageKind::kReject:
+      return "Reject";
+    case MessageKind::kRelease:
+      return "Release";
+    case MessageKind::kSemiTransform:
+      return "SemiTransform";
+    case MessageKind::kAbortTxn:
+      return "AbortTxn";
+    case MessageKind::kWfgSnapshotRequest:
+      return "WfgSnapshotRequest";
+    case MessageKind::kWfgSnapshotReply:
+      return "WfgSnapshotReply";
+    case MessageKind::kVictim:
+      return "Victim";
+    case MessageKind::kProbe:
+      return "Probe";
+    case MessageKind::kProbeQuery:
+      return "ProbeQuery";
+    case MessageKind::kNumKinds:
+      break;
+  }
+  return "?";
+}
+
+}  // namespace unicc

@@ -1,0 +1,55 @@
+#include "net/transport.h"
+
+#include <utility>
+
+#include "common/check.h"
+
+namespace unicc {
+
+SimTransport::SimTransport(Simulator* sim, NetworkOptions options, Rng rng)
+    : sim_(sim), options_(options), rng_(rng) {
+  UNICC_CHECK(sim != nullptr);
+}
+
+void SimTransport::RegisterSite(SiteId site, SiteHandler handler) {
+  if (handlers_.size() <= site) handlers_.resize(site + 1);
+  handlers_[site] = std::move(handler);
+}
+
+Duration SimTransport::DelayFor(SiteId from, SiteId to) {
+  if (from == to) return options_.local_delay;
+  Duration d = options_.base_delay;
+  if (options_.jitter_mean > 0) {
+    d += static_cast<Duration>(
+        rng_.Exponential(static_cast<double>(options_.jitter_mean)));
+  }
+  return d;
+}
+
+void SimTransport::Send(SiteId from, SiteId to, Message m) {
+  UNICC_CHECK_MSG(to < handlers_.size() && handlers_[to],
+                  "message sent to unregistered site");
+  ++total_messages_;
+  if (from != to) ++remote_messages_;
+  ++by_kind_[m.index()];
+  const Duration delay = DelayFor(from, to);
+  SimTime deliver = sim_->Now() + delay;
+  if (options_.fifo_per_channel) {
+    const std::uint64_t channel =
+        (static_cast<std::uint64_t>(from) << 32) | to;
+    SimTime& last = last_delivery_[channel];
+    if (deliver <= last) deliver = last + 1;
+    last = deliver;
+  }
+  sim_->ScheduleAt(deliver, [this, from, to, m = std::move(m)]() {
+    handlers_[to](from, m);
+  });
+}
+
+void SimTransport::ResetCounters() {
+  total_messages_ = 0;
+  remote_messages_ = 0;
+  by_kind_.fill(0);
+}
+
+}  // namespace unicc

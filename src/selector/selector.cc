@@ -1,0 +1,108 @@
+#include "selector/selector.h"
+
+#include <limits>
+
+#include "common/check.h"
+
+namespace unicc {
+
+MinStlSelector::MinStlSelector(const Simulator* sim,
+                               const ParamEstimator* estimator,
+                               std::size_t num_queues,
+                               SelectorOptions options)
+    : sim_(sim),
+      estimator_(estimator),
+      num_queues_(num_queues),
+      options_(options) {
+  UNICC_CHECK(sim_ != nullptr && estimator_ != nullptr);
+}
+
+std::uint64_t MinStlSelector::ClassKey(TxnShape shape) {
+  return (static_cast<std::uint64_t>(shape.m) << 16) |
+         static_cast<std::uint64_t>(shape.n);
+}
+
+MinStlSelector::ClassStl MinStlSelector::EstimateFor(TxnShape shape) const {
+  const SystemParams sys = estimator_->Snapshot(sim_->Now(), num_queues_);
+  StlEvaluator ev(sys, options_.grid_points);
+  ClassStl out;
+  out.stl_2pl =
+      Stl2pl(ev, shape, estimator_->For(Protocol::kTwoPhaseLocking));
+  out.stl_to =
+      StlTo(ev, shape, estimator_->For(Protocol::kTimestampOrdering));
+  out.stl_pa =
+      StlPa(ev, shape, estimator_->For(Protocol::kPrecedenceAgreement));
+  return out;
+}
+
+Protocol MinStlSelector::Choose(const TxnSpec& spec) {
+  const std::uint64_t i = decided_++;
+  Protocol chosen;
+  if (i < options_.warmup_txns) {
+    chosen = static_cast<Protocol>(i % kNumProtocols);
+  } else {
+    const TxnShape shape{static_cast<int>(spec.read_set.size()),
+                         static_cast<int>(spec.write_set.size())};
+    const std::uint64_t key = ClassKey(shape);
+    auto it = cache_.find(key);
+    if (it == cache_.end() ||
+        i - it->second.second >= options_.refresh_every) {
+      const ClassStl stl = EstimateFor(shape);
+      Protocol best = Protocol::kTwoPhaseLocking;
+      double best_v = stl.stl_2pl;
+      if (stl.stl_to < best_v) {
+        best = Protocol::kTimestampOrdering;
+        best_v = stl.stl_to;
+      }
+      if (stl.stl_pa < best_v) {
+        best = Protocol::kPrecedenceAgreement;
+      }
+      cache_[key] = {best, i};
+      it = cache_.find(key);
+    }
+    chosen = it->second.first;
+  }
+  ++selections_[static_cast<std::size_t>(chosen)];
+  return chosen;
+}
+
+ProtocolPolicy MinStlSelector::AsPolicy() {
+  return [this](const TxnSpec& spec) { return Choose(spec); };
+}
+
+MinAvgTimeSelector::MinAvgTimeSelector(std::uint64_t warmup_txns)
+    : warmup_txns_(warmup_txns) {}
+
+void MinAvgTimeSelector::OnCommit(const TxnResult& r) {
+  const auto i = static_cast<std::size_t>(r.protocol);
+  sum_ms_[i] += static_cast<double>(r.SystemTime()) / kMillisecond;
+  ++count_[i];
+}
+
+Protocol MinAvgTimeSelector::Choose(const TxnSpec& spec) {
+  (void)spec;
+  const std::uint64_t i = decided_++;
+  Protocol chosen;
+  if (i < warmup_txns_) {
+    chosen = static_cast<Protocol>(i % kNumProtocols);
+  } else {
+    chosen = Protocol::kTwoPhaseLocking;
+    double best = std::numeric_limits<double>::infinity();
+    for (int p = 0; p < kNumProtocols; ++p) {
+      if (count_[p] == 0) continue;
+      const double mean = sum_ms_[p] / static_cast<double>(count_[p]);
+      if (mean < best) {
+        best = mean;
+        chosen = static_cast<Protocol>(p);
+      }
+    }
+  }
+  ++selections_[static_cast<std::size_t>(chosen)];
+  return chosen;
+}
+
+ProtocolPolicy MinAvgTimeSelector::AsPolicy() {
+  return [this](const TxnSpec& spec) { return Choose(spec); };
+}
+
+}  // namespace unicc

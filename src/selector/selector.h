@@ -1,0 +1,99 @@
+// Dynamic concurrency-control selection (paper, Section 5.2): each arriving
+// transaction is assigned the protocol with the smallest estimated System
+// Throughput Loss. Parameters come from the online ParamEstimator; STL
+// values are cached per transaction class (bucketed by read/write counts)
+// and refreshed periodically, as the paper suggests for speed.
+#ifndef UNICC_SELECTOR_SELECTOR_H_
+#define UNICC_SELECTOR_SELECTOR_H_
+
+#include <array>
+#include <cstdint>
+#include <map>
+
+#include "common/types.h"
+#include "sim/simulator.h"
+#include "stl/estimators.h"
+#include "txn/transaction.h"
+#include "workload/generator.h"
+
+namespace unicc {
+
+struct SelectorOptions {
+  // The first `warmup_txns` transactions round-robin over the protocols so
+  // the estimator observes all three before STL drives decisions.
+  std::uint64_t warmup_txns = 60;
+  // Cached class STL values are recomputed after this many selections.
+  std::uint64_t refresh_every = 50;
+  // DP grid resolution for STL'.
+  int grid_points = 32;
+};
+
+class MinStlSelector {
+ public:
+  // `sim` provides elapsed time for throughput snapshots; `estimator` must
+  // outlive the selector; `num_queues` is the number of physical copies.
+  MinStlSelector(const Simulator* sim, const ParamEstimator* estimator,
+                 std::size_t num_queues, SelectorOptions options = {});
+
+  // Chooses the protocol for `spec` (usable as a ProtocolPolicy).
+  Protocol Choose(const TxnSpec& spec);
+
+  // Adapter for Engine::SetProtocolPolicy.
+  ProtocolPolicy AsPolicy();
+
+  // Per-protocol selection counts (diagnostics).
+  std::uint64_t selections(Protocol p) const {
+    return selections_[static_cast<std::size_t>(p)];
+  }
+
+  // Most recent STL estimates for a class (diagnostics / tests).
+  struct ClassStl {
+    double stl_2pl = 0;
+    double stl_to = 0;
+    double stl_pa = 0;
+  };
+  ClassStl EstimateFor(TxnShape shape) const;
+
+ private:
+  static std::uint64_t ClassKey(TxnShape shape);
+
+  const Simulator* sim_;
+  const ParamEstimator* estimator_;
+  std::size_t num_queues_;
+  SelectorOptions options_;
+
+  std::uint64_t decided_ = 0;
+  std::map<std::uint64_t, std::pair<Protocol, std::uint64_t>> cache_;
+  std::array<std::uint64_t, kNumProtocols> selections_{};
+};
+
+// The strawman Section 5.1 argues against: pick the protocol with the
+// smallest observed mean system time. The paper predicts it is biased
+// toward 2PL, because a deadlocking 2PL transaction shortens its own
+// system time while prolonging everyone else's — the cost its choice
+// imposes on the system is invisible to this policy.
+class MinAvgTimeSelector {
+ public:
+  explicit MinAvgTimeSelector(std::uint64_t warmup_txns = 60);
+
+  // Feed commits so the per-protocol means track reality.
+  void OnCommit(const TxnResult& r);
+
+  Protocol Choose(const TxnSpec& spec);
+  ProtocolPolicy AsPolicy();
+
+  std::uint64_t selections(Protocol p) const {
+    return selections_[static_cast<std::size_t>(p)];
+  }
+
+ private:
+  std::uint64_t warmup_txns_;
+  std::uint64_t decided_ = 0;
+  std::array<double, kNumProtocols> sum_ms_{};
+  std::array<std::uint64_t, kNumProtocols> count_{};
+  std::array<std::uint64_t, kNumProtocols> selections_{};
+};
+
+}  // namespace unicc
+
+#endif  // UNICC_SELECTOR_SELECTOR_H_

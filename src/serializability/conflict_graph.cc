@@ -1,0 +1,114 @@
+#include "serializability/conflict_graph.h"
+
+#include <algorithm>
+#include <queue>
+
+namespace unicc {
+
+namespace {
+
+bool Conflict(OpType a, OpType b) {
+  return a == OpType::kWrite || b == OpType::kWrite;
+}
+
+}  // namespace
+
+SerializabilityReport ConflictGraphChecker::Check(
+    const ImplementationLog& log, const CommittedSet& committed) {
+  SerializabilityReport report;
+
+  // adjacency + indegree over committed transactions.
+  std::unordered_map<TxnId, std::unordered_set<TxnId>> adj;
+  std::unordered_set<TxnId> nodes;
+
+  for (const CopyId& copy : log.Copies()) {
+    // Filter to committed incarnations, keeping implementation order.
+    std::vector<const LogRecord*> ops;
+    for (const LogRecord& r : log.LogOf(copy)) {
+      auto it = committed.find(r.txn);
+      if (it != committed.end() && it->second == r.attempt) {
+        ops.push_back(&r);
+      }
+    }
+    std::sort(ops.begin(), ops.end(),
+              [](const LogRecord* a, const LogRecord* b) {
+                return a->seq < b->seq;
+              });
+    for (std::size_t i = 0; i < ops.size(); ++i) {
+      nodes.insert(ops[i]->txn);
+      for (std::size_t j = i + 1; j < ops.size(); ++j) {
+        if (ops[i]->txn == ops[j]->txn) continue;
+        if (Conflict(ops[i]->op, ops[j]->op)) {
+          adj[ops[i]->txn].insert(ops[j]->txn);
+        }
+      }
+    }
+  }
+
+  report.num_txns = nodes.size();
+  for (const auto& [n, outs] : adj) report.num_edges += outs.size();
+
+  // Kahn's algorithm; leftover nodes are on (or downstream of) a cycle.
+  std::unordered_map<TxnId, std::size_t> indeg;
+  for (TxnId n : nodes) indeg[n] = 0;
+  for (const auto& [n, outs] : adj) {
+    for (TxnId m : outs) ++indeg[m];
+  }
+  // Min-heap for a deterministic witness order.
+  std::priority_queue<TxnId, std::vector<TxnId>, std::greater<TxnId>> ready;
+  for (const auto& [n, d] : indeg) {
+    if (d == 0) ready.push(n);
+  }
+  while (!ready.empty()) {
+    const TxnId n = ready.top();
+    ready.pop();
+    report.order.push_back(n);
+    auto it = adj.find(n);
+    if (it == adj.end()) continue;
+    for (TxnId m : it->second) {
+      if (--indeg[m] == 0) ready.push(m);
+    }
+  }
+  if (report.order.size() == nodes.size()) {
+    report.serializable = true;
+    return report;
+  }
+  report.serializable = false;
+  report.order.clear();
+
+  // Extract one cycle among the remaining nodes. In the leftover subgraph
+  // every node keeps indegree >= 1, so walking predecessors never dead-ends
+  // and must revisit a node; that revisit closes a cycle.
+  std::unordered_set<TxnId> remaining;
+  for (const auto& [n, d] : indeg) {
+    if (d > 0) remaining.insert(n);
+  }
+  std::unordered_map<TxnId, TxnId> pred;  // one in-edge per remaining node
+  for (const auto& [n, outs] : adj) {
+    if (!remaining.contains(n)) continue;
+    for (TxnId m : outs) {
+      if (remaining.contains(m)) pred[m] = n;
+    }
+  }
+  TxnId cur = *remaining.begin();
+  std::vector<TxnId> path;
+  std::unordered_map<TxnId, std::size_t> pos;
+  for (;;) {
+    auto seen = pos.find(cur);
+    if (seen != pos.end()) {
+      report.cycle.assign(path.begin() + static_cast<std::ptrdiff_t>(
+                                              seen->second),
+                          path.end());
+      std::reverse(report.cycle.begin(), report.cycle.end());
+      break;
+    }
+    pos[cur] = path.size();
+    path.push_back(cur);
+    auto p = pred.find(cur);
+    if (p == pred.end()) break;  // defensive: should not happen
+    cur = p->second;
+  }
+  return report;
+}
+
+}  // namespace unicc

@@ -1,0 +1,63 @@
+#include "sim/simulator.h"
+
+#include <limits>
+#include <utility>
+
+#include "common/check.h"
+
+namespace unicc {
+
+std::uint64_t Simulator::Schedule(Duration delay, std::function<void()> fn) {
+  return ScheduleAt(now_ + delay, std::move(fn));
+}
+
+std::uint64_t Simulator::ScheduleAt(SimTime when, std::function<void()> fn) {
+  UNICC_CHECK(when >= now_);
+  const std::uint64_t id = next_id_++;
+  queue_.push(Event{when, next_seq_++, id});
+  callbacks_.emplace(id, std::move(fn));
+  return id;
+}
+
+bool Simulator::Cancel(std::uint64_t event_id) {
+  return callbacks_.erase(event_id) > 0;
+}
+
+bool Simulator::Step(SimTime until) {
+  while (!queue_.empty()) {
+    const Event ev = queue_.top();
+    auto it = callbacks_.find(ev.id);
+    if (it == callbacks_.end()) {
+      // Cancelled placeholder.
+      queue_.pop();
+      continue;
+    }
+    if (ev.when > until) return false;
+    queue_.pop();
+    std::function<void()> fn = std::move(it->second);
+    callbacks_.erase(it);
+    now_ = ev.when;
+    ++events_run_;
+    fn();
+    return true;
+  }
+  return false;
+}
+
+std::uint64_t Simulator::RunUntil(SimTime until) {
+  std::uint64_t n = 0;
+  while (Step(until)) ++n;
+  if (now_ < until && queue_.empty()) now_ = until;
+  return n;
+}
+
+std::uint64_t Simulator::RunToCompletion(std::uint64_t max_events) {
+  std::uint64_t n = 0;
+  while (Step(std::numeric_limits<SimTime>::max())) {
+    ++n;
+    UNICC_CHECK_MSG(n < max_events, "event cap exceeded: possible livelock");
+  }
+  return n;
+}
+
+}  // namespace unicc

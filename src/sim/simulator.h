@@ -1,0 +1,78 @@
+// Deterministic discrete-event simulator. Components schedule closures at
+// future simulated times; the run loop pops them in (time, sequence) order so
+// ties resolve by scheduling order and runs are reproducible.
+#ifndef UNICC_SIM_SIMULATOR_H_
+#define UNICC_SIM_SIMULATOR_H_
+
+#include <cstdint>
+#include <functional>
+#include <queue>
+#include <unordered_map>
+#include <vector>
+
+#include "common/types.h"
+
+namespace unicc {
+
+class Simulator {
+ public:
+  Simulator() = default;
+  Simulator(const Simulator&) = delete;
+  Simulator& operator=(const Simulator&) = delete;
+
+  // Current simulated time.
+  SimTime Now() const { return now_; }
+
+  // Schedules `fn` to run at Now() + delay. Returns an id usable with
+  // Cancel().
+  std::uint64_t Schedule(Duration delay, std::function<void()> fn);
+
+  // Schedules `fn` at an absolute time (must be >= Now()).
+  std::uint64_t ScheduleAt(SimTime when, std::function<void()> fn);
+
+  // Cancels a pending event. Returns false if it already ran or was
+  // cancelled. Cancellation is lazy: the slot is marked and skipped.
+  bool Cancel(std::uint64_t event_id);
+
+  // Runs events until the queue drains or `until` is passed. Events with
+  // timestamp == until still run. Returns the number of events executed.
+  std::uint64_t RunUntil(SimTime until);
+
+  // Runs until the queue is completely empty. A safety cap on the number of
+  // events guards against livelock bugs in protocols under test.
+  std::uint64_t RunToCompletion(std::uint64_t max_events = 500'000'000ULL);
+
+  // Number of events currently pending (including cancelled placeholders).
+  std::size_t PendingEvents() const { return queue_.size(); }
+
+  // Total events executed so far.
+  std::uint64_t EventsRun() const { return events_run_; }
+
+ private:
+  struct Event {
+    SimTime when;
+    std::uint64_t seq;
+    std::uint64_t id;
+
+    bool operator>(const Event& o) const {
+      if (when != o.when) return when > o.when;
+      return seq > o.seq;
+    }
+  };
+
+  // Executes the top event if due before/at `until`; returns false when the
+  // queue is empty or the next event is later than `until`.
+  bool Step(SimTime until);
+
+  SimTime now_ = 0;
+  std::uint64_t next_seq_ = 0;
+  std::uint64_t next_id_ = 1;
+  std::uint64_t events_run_ = 0;
+  std::priority_queue<Event, std::vector<Event>, std::greater<Event>> queue_;
+  // Pending callbacks by event id; erased on execution or cancel.
+  std::unordered_map<std::uint64_t, std::function<void()>> callbacks_;
+};
+
+}  // namespace unicc
+
+#endif  // UNICC_SIM_SIMULATOR_H_

@@ -1,0 +1,78 @@
+#include "stl/analytic.h"
+
+#include <algorithm>
+#include <cmath>
+
+#include "common/check.h"
+
+namespace unicc {
+
+namespace {
+
+double Clamp01(double p) { return std::clamp(p, 0.0, 0.95); }
+
+}  // namespace
+
+AnalyticEstimates EstimateAnalytically(const AnalyticInputs& in) {
+  UNICC_CHECK(in.lambda > 0 && in.k_avg >= 1 && in.db_size >= 1);
+  UNICC_CHECK(in.base_residence_s > 0);
+  AnalyticEstimates out;
+
+  // Little's law: transactions concurrently in the system.
+  out.n_in_flight = in.lambda * in.base_residence_s;
+
+  // Effective conflict weight: a read conflicts only with writes, a write
+  // with everything. With write fraction w, the probability that a random
+  // pair of co-located requests conflicts is w + w - w^2 = 1-(1-w)^2;
+  // splitting per request: a request conflicts with a resident request
+  // with probability w_eff.
+  const double w = std::clamp(in.write_fraction, 0.0, 1.0);
+  const double w_eff = 1 - (1 - w) * (1 - w);
+
+  // Resident requests competing for the same copy.
+  out.p_conflict =
+      Clamp01(out.n_in_flight * in.k_avg * w_eff / in.db_size);
+  // A conflicting resident holds its lock for half its residence on
+  // average; blocking is roughly half the conflict probability.
+  out.p_block = Clamp01(out.p_conflict / 2);
+
+  // ---- system-wide rates for the STL' evaluator --------------------
+  out.system.lambda_a = in.lambda * in.k_avg;  // granted requests/s
+  const double per_queue = out.system.lambda_a / in.db_size;
+  out.system.lambda_r = per_queue * (1 - w);
+  out.system.lambda_w = per_queue * w;
+  out.system.q_r = 1 - w;
+  out.system.k_avg = in.k_avg;
+
+  // ---- 2PL ----------------------------------------------------------
+  // Two-transaction cycles dominate (Sevcik [14]): both of a pair block on
+  // each other. Each transaction makes K requests, each blocking with
+  // probability p_block, and a blocked pair deadlocks when the waits are
+  // mutual (factor 1/2 per orientation).
+  out.twopl.u_lock = in.base_residence_s * (1 + out.p_block * in.k_avg);
+  out.twopl.u_lock_aborted = out.twopl.u_lock * 2;  // held until detection
+  out.twopl.p_abort = Clamp01(in.k_avg * in.k_avg * out.p_block *
+                              out.p_block / 4);
+
+  // ---- Basic T/O ------------------------------------------------------
+  // A request is rejected when it conflicts with an already-granted
+  // request AND the pair arrived out of timestamp order.
+  const double p_neg = Clamp01(out.p_conflict * in.out_of_order_prob);
+  out.to.u_lock = in.base_residence_s;
+  out.to.u_lock_aborted = in.base_residence_s / 2;  // fails early
+  out.to.p_reject_read = p_neg * w;        // reads only conflict w/ writes
+  out.to.p_reject_write = p_neg;
+
+  // ---- PA -------------------------------------------------------------
+  // Same negative-response condition as T/O, but the answer is a back-off
+  // offer rather than a reject; holds are longer by the confirmation round
+  // (approximated as one extra base network round ~ R/4).
+  out.pa.u_lock = in.base_residence_s * 1.25;
+  out.pa.u_lock_aborted = in.base_residence_s / 2;
+  out.pa.p_reject_read = p_neg * w;
+  out.pa.p_reject_write = p_neg;
+
+  return out;
+}
+
+}  // namespace unicc

@@ -1,0 +1,58 @@
+// Analytical estimation of the STL input parameters (paper, Section 5.2:
+// the selection parameters "can either be collected periodically or
+// estimated through analytical methods [14,15,21,25]"). This module gives
+// closed-form mean-value approximations in the style of Tay-Suri-Goodman
+// [21] and Sevcik [14], useful before any measurements exist (cold start)
+// and as a cross-check of the online ParamEstimator.
+//
+// Model inputs: arrival rate λ, mean requests per transaction K, database
+// size D (physical copies), write fraction w, base residence time R (the
+// no-contention system time: network rounds + compute), and the probability
+// ρ that two conflicting requests arrive out of timestamp order (driven by
+// clock skew relative to grant latency).
+//
+// Derived quantities (first-order, valid for low-to-moderate contention):
+//   N        = λ·R                      transactions in flight (Little)
+//   P_c      = N·K·w_eff/D              per-request conflict probability
+//   P_block  = P_c/2                    per-request blocking probability
+//   P_A      ≈ K²·P_block²/4            2PL deadlock probability per txn
+//                                        (two-cycle dominance, Sevcik)
+//   P_r/P_w  ≈ P_c·ρ                    T/O per-request reject probability
+//   P_B/P'_B ≈ P_c·ρ                    PA per-request back-off probability
+#ifndef UNICC_STL_ANALYTIC_H_
+#define UNICC_STL_ANALYTIC_H_
+
+#include "stl/estimators.h"
+#include "stl/evaluator.h"
+
+namespace unicc {
+
+// Workload/system shape for the analytic model.
+struct AnalyticInputs {
+  double lambda = 20;        // transactions per second
+  double k_avg = 4;          // mean physical requests per transaction
+  double db_size = 100;      // number of physical copies D
+  double write_fraction = 0.5;
+  double base_residence_s = 0.03;  // no-contention system time R (seconds)
+  double out_of_order_prob = 0.3;  // ρ: P(conflicting pair out of ts order)
+};
+
+struct AnalyticEstimates {
+  SystemParams system;
+  ProtocolParams twopl;
+  ProtocolParams to;
+  ProtocolParams pa;
+  // Intermediate quantities, exposed for inspection and tests.
+  double n_in_flight = 0;
+  double p_conflict = 0;
+  double p_block = 0;
+};
+
+// Computes the closed-form estimates. All probabilities are clamped to
+// [0, 0.95]; the model is a first-order approximation and saturates
+// gracefully rather than diverging.
+AnalyticEstimates EstimateAnalytically(const AnalyticInputs& in);
+
+}  // namespace unicc
+
+#endif  // UNICC_STL_ANALYTIC_H_

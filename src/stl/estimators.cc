@@ -1,0 +1,167 @@
+#include "stl/estimators.h"
+
+#include <algorithm>
+#include <cmath>
+
+#include "common/check.h"
+
+namespace unicc {
+
+namespace {
+
+// Clamp probabilities away from 1 so geometric retries stay finite.
+double ClampProb(double p) { return std::clamp(p, 0.0, 0.95); }
+
+}  // namespace
+
+double LambdaT(const SystemParams& sys, TxnShape shape) {
+  return shape.m * sys.lambda_w +
+         shape.n * (sys.lambda_w + sys.lambda_r);
+}
+
+double Stl2pl(const StlEvaluator& ev, TxnShape shape,
+              const ProtocolParams& p) {
+  const double lt = LambdaT(ev.params(), shape);
+  const double pa = ClampProb(p.p_abort);
+  // STL = (1-PA)·STL'(Λt,U) + PA·(STL + STL'(Λt,U')); solve for STL.
+  const double success = ev.Evaluate(lt, p.u_lock);
+  const double aborted = ev.Evaluate(lt, p.u_lock_aborted);
+  return ((1 - pa) * success + pa * aborted) / (1 - pa);
+}
+
+double StlTo(const StlEvaluator& ev, TxnShape shape,
+             const ProtocolParams& p) {
+  const SystemParams& sys = ev.params();
+  const double lt = LambdaT(sys, shape);
+  const double pr = ClampProb(p.p_reject_read);
+  const double pw = ClampProb(p.p_reject_write);
+  const double ps = std::pow(1 - pr, shape.m) * std::pow(1 - pw, shape.n);
+  // Λ*_t from the balance equation: the expected per-request loss equals
+  // the mixture over the rejected/accepted outcomes.
+  const double expected = shape.m * (1 - pr) * sys.lambda_w +
+                          shape.n * (1 - pw) *
+                              (sys.lambda_w + sys.lambda_r);
+  double lt_star = lt;
+  if (1 - ps > 1e-9) {
+    lt_star = (expected - ps * lt) / (1 - ps);
+    lt_star = std::clamp(lt_star, 0.0, sys.lambda_a);
+  }
+  const double ps_safe = std::max(ps, 0.05);
+  const double success = ev.Evaluate(lt, p.u_lock);
+  const double rejected = ev.Evaluate(lt_star, p.u_lock_aborted);
+  // STL = ps·S'(Λt,U) + (1-ps)(S'(Λ*,U') + STL); solve for STL.
+  return (ps_safe * success + (1 - ps_safe) * rejected) / ps_safe;
+}
+
+double StlPa(const StlEvaluator& ev, TxnShape shape,
+             const ProtocolParams& p) {
+  const SystemParams& sys = ev.params();
+  const double lt = LambdaT(sys, shape);
+  const double pb = ClampProb(p.p_reject_read);
+  const double pbw = ClampProb(p.p_reject_write);
+  const double ps = std::pow(1 - pb, shape.m) * std::pow(1 - pbw, shape.n);
+  const double expected = shape.m * (1 - pb) * sys.lambda_w +
+                          shape.n * (1 - pbw) *
+                              (sys.lambda_w + sys.lambda_r);
+  double lt_dag = lt;
+  if (1 - ps > 1e-9) {
+    lt_dag = (expected - ps * lt) / (1 - ps);
+    lt_dag = std::clamp(lt_dag, 0.0, sys.lambda_a);
+  }
+  const double success = ev.Evaluate(lt, p.u_lock);
+  const double backed_off = ev.Evaluate(lt_dag, p.u_lock_aborted);
+  // PA backs off at most once (Lemma 1): non-recursive mixture.
+  return ps * success + (1 - ps) * (backed_off + success);
+}
+
+void ParamEstimator::OnRequestSent(Protocol proto, OpType op) {
+  ++requests_[Idx(proto)][static_cast<std::size_t>(op)];
+  if (op == OpType::kRead) {
+    ++read_requests_;
+  } else {
+    ++write_requests_;
+  }
+}
+
+void ParamEstimator::OnReject(OpType op, Protocol proto) {
+  ++negatives_[Idx(proto)][static_cast<std::size_t>(op)];
+}
+
+void ParamEstimator::OnBackoffOffer(OpType op) {
+  ++negatives_[Idx(Protocol::kPrecedenceAgreement)]
+              [static_cast<std::size_t>(op)];
+}
+
+void ParamEstimator::OnGrant(OpType op) {
+  ++grants_[static_cast<std::size_t>(op)];
+}
+
+void ParamEstimator::OnLockHold(Protocol proto, Duration held, bool aborted) {
+  lock_time_[Idx(proto)][aborted ? 1 : 0].Add(
+      static_cast<double>(held) / static_cast<double>(kSecond));
+}
+
+void ParamEstimator::OnCommit(const TxnResult& r) {
+  ++commits_;
+  committed_requests_ += r.num_requests;
+  if (r.protocol == Protocol::kTwoPhaseLocking) {
+    incarnations_2pl_ += r.attempts;
+  }
+}
+
+void ParamEstimator::OnRestart(Protocol proto, TxnOutcome why) {
+  if (proto == Protocol::kTwoPhaseLocking &&
+      why == TxnOutcome::kRestartedByDeadlock) {
+    ++deadlock_aborts_;
+  }
+}
+
+SystemParams ParamEstimator::Snapshot(SimTime elapsed,
+                                      std::size_t num_queues) const {
+  SystemParams sys;
+  const double secs =
+      std::max(static_cast<double>(elapsed) / static_cast<double>(kSecond),
+               1e-6);
+  const double nq = std::max<double>(1, static_cast<double>(num_queues));
+  const double read_rate = static_cast<double>(grants_[0]) / secs;
+  const double write_rate = static_cast<double>(grants_[1]) / secs;
+  sys.lambda_r = read_rate / nq;
+  sys.lambda_w = write_rate / nq;
+  sys.lambda_a = std::max(read_rate + write_rate, 1e-3);
+  const double total_reqs =
+      static_cast<double>(read_requests_ + write_requests_);
+  sys.q_r = total_reqs > 0
+                ? static_cast<double>(read_requests_) / total_reqs
+                : 0.5;
+  sys.k_avg = commits_ > 0
+                  ? std::max(1.0, static_cast<double>(committed_requests_) /
+                                      static_cast<double>(commits_))
+                  : 4.0;
+  return sys;
+}
+
+ProtocolParams ParamEstimator::For(Protocol proto) const {
+  ProtocolParams p;
+  const auto& lt = lock_time_[Idx(proto)];
+  p.u_lock = lt[0].Get(0.05);
+  p.u_lock_aborted = lt[1].Get(p.u_lock * 0.5);
+  const auto& req = requests_[Idx(proto)];
+  const auto& neg = negatives_[Idx(proto)];
+  auto ratio = [](std::uint64_t num, std::uint64_t den) {
+    return den == 0 ? 0.0
+                    : static_cast<double>(num) / static_cast<double>(den);
+  };
+  if (proto == Protocol::kTwoPhaseLocking) {
+    p.p_abort = incarnations_2pl_ == 0
+                    ? 0.0
+                    : static_cast<double>(deadlock_aborts_) /
+                          static_cast<double>(incarnations_2pl_ +
+                                              deadlock_aborts_);
+  } else {
+    p.p_reject_read = ratio(neg[0], req[0]);
+    p.p_reject_write = ratio(neg[1], req[1]);
+  }
+  return p;
+}
+
+}  // namespace unicc

@@ -1,0 +1,111 @@
+// Per-protocol STL estimators (Section 5.2) and the online parameter
+// estimator that measures the quantities they consume:
+//
+//   2PL: U_2PL, U'_2PL, P_A (deadlock-abort probability per incarnation)
+//   T/O: U_T/O, U'_T/O, P_r, P'_w (per-request reject probabilities)
+//   PA : U_PA, U'_PA, P_B, P'_B (per-request back-off probabilities)
+//
+// plus system-wide λ_A, λ_r, λ_w, Q_r and K for the STL' evaluator.
+#ifndef UNICC_STL_ESTIMATORS_H_
+#define UNICC_STL_ESTIMATORS_H_
+
+#include <array>
+#include <cstdint>
+
+#include "common/types.h"
+#include "stl/evaluator.h"
+#include "txn/transaction.h"
+
+namespace unicc {
+
+// Measured behaviour of one protocol.
+struct ProtocolParams {
+  double u_lock = 0.05;          // mean lock time, committed path (s)
+  double u_lock_aborted = 0.02;  // mean lock time, aborted path (s)
+  double p_abort = 0.0;          // 2PL: deadlock abort probability
+  double p_reject_read = 0.0;    // T/O or PA: per-read reject/back-off prob.
+  double p_reject_write = 0.0;   // T/O or PA: per-write prob.
+};
+
+// Transaction shape: m reads, n writes.
+struct TxnShape {
+  int m = 0;
+  int n = 0;
+};
+
+// Expected throughput loss Λ_t of holding t's locks:
+// Σ reads λ_w + Σ writes (λ_w + λ_r), using per-queue averages.
+double LambdaT(const SystemParams& sys, TxnShape shape);
+
+// STL_2PL(t): geometric retry over deadlock aborts.
+double Stl2pl(const StlEvaluator& ev, TxnShape shape,
+              const ProtocolParams& p);
+
+// STL_T/O(t): geometric retry over rejects, with the conditional loss Λ*_t
+// solved from the balance equation in Section 5.2.
+double StlTo(const StlEvaluator& ev, TxnShape shape,
+             const ProtocolParams& p);
+
+// STL_PA(t): at most one back-off (Lemma 1), hence non-recursive.
+double StlPa(const StlEvaluator& ev, TxnShape shape,
+             const ProtocolParams& p);
+
+// Online measurement of SystemParams and ProtocolParams. Wire its On*
+// methods into EngineCallbacks; snapshots are cheap.
+class ParamEstimator {
+ public:
+  ParamEstimator() = default;
+
+  // --- event intake ----------------------------------------------------
+  void OnRequestSent(Protocol proto, OpType op);
+  void OnReject(OpType op, Protocol proto);
+  void OnBackoffOffer(OpType op);
+  void OnGrant(OpType op);
+  void OnLockHold(Protocol proto, Duration held, bool aborted);
+  void OnCommit(const TxnResult& r);
+  void OnRestart(Protocol proto, TxnOutcome why);
+
+  // --- snapshots --------------------------------------------------------
+  // `elapsed` is total simulated time so far; `num_queues` the number of
+  // physical copies (for per-queue throughput averages).
+  SystemParams Snapshot(SimTime elapsed, std::size_t num_queues) const;
+  ProtocolParams For(Protocol proto) const;
+
+  std::uint64_t total_commits() const { return commits_; }
+
+ private:
+  struct Mean {
+    double sum = 0;
+    std::uint64_t n = 0;
+    void Add(double v) {
+      sum += v;
+      ++n;
+    }
+    double Get(double fallback) const {
+      return n == 0 ? fallback : sum / static_cast<double>(n);
+    }
+  };
+
+  static std::size_t Idx(Protocol p) { return static_cast<std::size_t>(p); }
+
+  // Per protocol, per op type: requests sent / negative responses.
+  std::array<std::array<std::uint64_t, 2>, kNumProtocols> requests_{};
+  std::array<std::array<std::uint64_t, 2>, kNumProtocols> negatives_{};
+  // Lock-time means per protocol x {committed, aborted}.
+  std::array<std::array<Mean, 2>, kNumProtocols> lock_time_{};
+  // 2PL incarnations and deadlock aborts.
+  std::uint64_t incarnations_2pl_ = 0;
+  std::uint64_t deadlock_aborts_ = 0;
+  // Grant throughput by op type.
+  std::array<std::uint64_t, 2> grants_{};
+  // Request mix.
+  std::uint64_t read_requests_ = 0;
+  std::uint64_t write_requests_ = 0;
+  // K estimation.
+  std::uint64_t commits_ = 0;
+  std::uint64_t committed_requests_ = 0;
+};
+
+}  // namespace unicc
+
+#endif  // UNICC_STL_ESTIMATORS_H_

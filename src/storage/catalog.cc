@@ -1,0 +1,58 @@
+#include "storage/catalog.h"
+
+#include <utility>
+
+namespace unicc {
+
+Catalog::Catalog(ItemId num_items, std::vector<SiteId> data_sites,
+                 std::uint32_t replication)
+    : num_items_(num_items),
+      data_sites_(std::move(data_sites)),
+      replication_(replication) {}
+
+StatusOr<Catalog> Catalog::Make(ItemId num_items,
+                                std::vector<SiteId> data_sites,
+                                std::uint32_t replication) {
+  if (num_items == 0) {
+    return Status::InvalidArgument("num_items must be positive");
+  }
+  if (data_sites.empty()) {
+    return Status::InvalidArgument("need at least one data site");
+  }
+  if (replication == 0 || replication > data_sites.size()) {
+    return Status::InvalidArgument(
+        "replication must be in [1, #data_sites]");
+  }
+  return Catalog(num_items, std::move(data_sites), replication);
+}
+
+std::vector<CopyId> Catalog::CopiesOf(ItemId item) const {
+  std::vector<CopyId> copies;
+  copies.reserve(replication_);
+  for (std::uint32_t k = 0; k < replication_; ++k) {
+    const SiteId site = data_sites_[(item + k) % data_sites_.size()];
+    copies.push_back(CopyId{item, site});
+  }
+  return copies;
+}
+
+CopyId Catalog::ReadCopy(ItemId item, std::uint64_t preference) const {
+  const std::uint32_t k =
+      static_cast<std::uint32_t>(preference % replication_);
+  const SiteId site = data_sites_[(item + k) % data_sites_.size()];
+  return CopyId{item, site};
+}
+
+std::vector<CopyId> Catalog::CopiesAt(SiteId site) const {
+  std::vector<CopyId> out;
+  for (ItemId i = 0; i < num_items_; ++i) {
+    for (std::uint32_t k = 0; k < replication_; ++k) {
+      if (data_sites_[(i + k) % data_sites_.size()] == site) {
+        out.push_back(CopyId{i, site});
+      }
+    }
+  }
+  return out;
+}
+
+}  // namespace unicc

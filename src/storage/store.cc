@@ -1,0 +1,14 @@
+#include "storage/store.h"
+
+namespace unicc {
+
+std::uint64_t Store::Read(const CopyId& copy) const {
+  auto it = values_.find(copy);
+  return it == values_.end() ? 0 : it->second;
+}
+
+void Store::Write(const CopyId& copy, std::uint64_t value) {
+  values_[copy] = value;
+}
+
+}  // namespace unicc

@@ -1,0 +1,31 @@
+// Physical value storage for one data site: a map from copies to 64-bit
+// values. Values default to zero; writes install at lock-release (2PL/PA) or
+// semi-lock-transform (T/O) time per the paper's "implemented" definition.
+#ifndef UNICC_STORAGE_STORE_H_
+#define UNICC_STORAGE_STORE_H_
+
+#include <cstdint>
+#include <unordered_map>
+
+#include "common/types.h"
+
+namespace unicc {
+
+class Store {
+ public:
+  // Reads the current value of a copy (0 if never written).
+  std::uint64_t Read(const CopyId& copy) const;
+
+  // Installs `value` at `copy`.
+  void Write(const CopyId& copy, std::uint64_t value);
+
+  // Number of copies ever written.
+  std::size_t WrittenCopies() const { return values_.size(); }
+
+ private:
+  std::unordered_map<CopyId, std::uint64_t> values_;
+};
+
+}  // namespace unicc
+
+#endif  // UNICC_STORAGE_STORE_H_

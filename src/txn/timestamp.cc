@@ -1,0 +1,16 @@
+#include "txn/timestamp.h"
+
+#include <algorithm>
+
+namespace unicc {
+
+Timestamp TimestampGenerator::Next(SimTime now) {
+  last_ = std::max<Timestamp>(last_ + 1, now);
+  return last_;
+}
+
+void TimestampGenerator::Observe(Timestamp ts) {
+  last_ = std::max(last_, ts);
+}
+
+}  // namespace unicc

@@ -1,0 +1,32 @@
+// Timestamp generation. Each request issuer owns a generator producing
+// strictly increasing values fused from simulated time, so timestamps
+// loosely track global arrival order (as a loosely synchronized clock
+// would); site ids break ties in the precedence order, as in the paper.
+#ifndef UNICC_TXN_TIMESTAMP_H_
+#define UNICC_TXN_TIMESTAMP_H_
+
+#include "common/types.h"
+
+namespace unicc {
+
+class TimestampGenerator {
+ public:
+  TimestampGenerator() = default;
+
+  // Returns a fresh timestamp >= max(now, last + 1). Restarted T/O
+  // transactions call this again, guaranteeing a strictly larger value.
+  Timestamp Next(SimTime now);
+
+  // Lamport-style merge: observing a foreign timestamp (e.g. a PA back-off
+  // offer) pulls the local clock forward.
+  void Observe(Timestamp ts);
+
+  Timestamp last() const { return last_; }
+
+ private:
+  Timestamp last_ = 0;
+};
+
+}  // namespace unicc
+
+#endif  // UNICC_TXN_TIMESTAMP_H_

@@ -1,0 +1,29 @@
+#include "txn/transaction.h"
+
+#include <algorithm>
+
+namespace unicc {
+
+Status TxnSpec::Validate() const {
+  if (read_set.empty() && write_set.empty()) {
+    return Status::InvalidArgument("transaction accesses no items");
+  }
+  for (ItemId r : read_set) {
+    if (std::find(write_set.begin(), write_set.end(), r) !=
+        write_set.end()) {
+      return Status::InvalidArgument(
+          "read_set and write_set must be disjoint (a read-then-write item "
+          "belongs in write_set only)");
+    }
+  }
+  auto has_dup = [](std::vector<ItemId> v) {
+    std::sort(v.begin(), v.end());
+    return std::adjacent_find(v.begin(), v.end()) != v.end();
+  };
+  if (has_dup(read_set) || has_dup(write_set)) {
+    return Status::InvalidArgument("duplicate item in access set");
+  }
+  return Status::OK();
+}
+
+}  // namespace unicc

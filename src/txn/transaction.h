@@ -1,0 +1,60 @@
+// Transaction model. A legal transaction has three phases (paper, Section
+// 2): a read phase, a local computing phase and a write phase. Access sets
+// are predeclared (the paper analyzes *static* 2PL, i.e., all requests are
+// known when the transaction enters the system); an item in both sets is
+// requested once, in write mode.
+#ifndef UNICC_TXN_TRANSACTION_H_
+#define UNICC_TXN_TRANSACTION_H_
+
+#include <cstdint>
+#include <vector>
+
+#include "common/status.h"
+#include "common/types.h"
+
+namespace unicc {
+
+// Static description of a transaction as submitted by a user.
+struct TxnSpec {
+  TxnId id = 0;
+  SiteId home = 0;  // site of the request issuer handling it
+  Protocol protocol = Protocol::kTwoPhaseLocking;
+  std::vector<ItemId> read_set;   // items only read
+  std::vector<ItemId> write_set;  // items written (possibly also read)
+  // Duration of the local computing phase once all grants are held.
+  Duration compute_time = 0;
+  // PA back-off interval INT_i; 0 lets the issuer pick a default.
+  Timestamp backoff_interval = 0;
+
+  // Total number of requests K(t) = |read_set| + |write_set|.
+  std::size_t NumRequests() const {
+    return read_set.size() + write_set.size();
+  }
+
+  // Validation: sets must be disjoint and non-empty in union.
+  Status Validate() const;
+};
+
+// Terminal outcome of one incarnation of a transaction.
+enum class TxnOutcome : std::uint8_t {
+  kCommitted = 0,
+  kRestartedByReject = 1,   // Basic T/O rejection
+  kRestartedByDeadlock = 2  // chosen as deadlock victim
+};
+
+// Per-transaction completion record used by metrics and tests.
+struct TxnResult {
+  TxnId id = 0;
+  Protocol protocol = Protocol::kTwoPhaseLocking;
+  SimTime arrival = 0;
+  SimTime commit = 0;
+  std::uint32_t attempts = 1;   // 1 == committed first try
+  std::uint32_t backoffs = 0;   // PA back-off negotiations performed
+  std::size_t num_requests = 0;
+
+  Duration SystemTime() const { return commit - arrival; }
+};
+
+}  // namespace unicc
+
+#endif  // UNICC_TXN_TRANSACTION_H_

@@ -1,0 +1,87 @@
+#include "workload/generator.h"
+
+#include <algorithm>
+#include <memory>
+#include <utility>
+
+#include "common/check.h"
+
+namespace unicc {
+
+ProtocolPolicy FixedProtocol(Protocol p) {
+  return [p](const TxnSpec&) { return p; };
+}
+
+ProtocolPolicy MixedProtocol(double w_2pl, double w_to, double w_pa,
+                             Rng rng) {
+  const double total = w_2pl + w_to + w_pa;
+  UNICC_CHECK(total > 0);
+  auto state = std::make_shared<Rng>(rng);
+  return [=](const TxnSpec&) {
+    const double u = state->UniformDouble() * total;
+    if (u < w_2pl) return Protocol::kTwoPhaseLocking;
+    if (u < w_2pl + w_to) return Protocol::kTimestampOrdering;
+    return Protocol::kPrecedenceAgreement;
+  };
+}
+
+WorkloadGenerator::WorkloadGenerator(WorkloadOptions options,
+                                     ItemId num_items,
+                                     std::uint32_t num_user_sites, Rng rng)
+    : options_(options),
+      num_items_(num_items),
+      num_user_sites_(num_user_sites),
+      rng_(rng),
+      zipf_(num_items, options.zipf_theta) {
+  UNICC_CHECK(options_.arrival_rate_per_sec > 0);
+  UNICC_CHECK(options_.size_min >= 1 && options_.size_min <= options_.size_max);
+  UNICC_CHECK(options_.size_max <= num_items);
+  UNICC_CHECK(options_.read_fraction >= 0 && options_.read_fraction <= 1);
+  UNICC_CHECK(num_user_sites_ > 0);
+}
+
+TxnSpec WorkloadGenerator::MakeSpec(TxnId id) {
+  TxnSpec spec;
+  spec.id = id;
+  spec.home = static_cast<SiteId>(rng_.UniformInt(num_user_sites_));
+  spec.compute_time = options_.compute_time;
+  const std::uint32_t size = static_cast<std::uint32_t>(
+      rng_.UniformRange(options_.size_min, options_.size_max));
+  // Draw `size` distinct items (Zipfian draws retried on duplicates).
+  std::vector<ItemId> items;
+  items.reserve(size);
+  while (items.size() < size) {
+    const ItemId item = static_cast<ItemId>(zipf_.Next(rng_));
+    if (std::find(items.begin(), items.end(), item) == items.end()) {
+      items.push_back(item);
+    }
+  }
+  for (ItemId item : items) {
+    if (rng_.Bernoulli(options_.read_fraction)) {
+      spec.read_set.push_back(item);
+    } else {
+      spec.write_set.push_back(item);
+    }
+  }
+  // Every transaction must access at least one item in some mode; the
+  // split above guarantees that because `items` is non-empty.
+  return spec;
+}
+
+std::vector<WorkloadGenerator::Arrival> WorkloadGenerator::Generate() {
+  std::vector<Arrival> arrivals;
+  arrivals.reserve(options_.num_txns);
+  const double mean_gap_us =
+      1e6 / options_.arrival_rate_per_sec;  // exponential inter-arrival
+  double t = 0;
+  for (TxnId id = 1; id <= options_.num_txns; ++id) {
+    t += rng_.Exponential(mean_gap_us);
+    Arrival a;
+    a.when = static_cast<SimTime>(t);
+    a.spec = MakeSpec(id);
+    arrivals.push_back(std::move(a));
+  }
+  return arrivals;
+}
+
+}  // namespace unicc

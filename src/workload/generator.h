@@ -1,0 +1,72 @@
+// Synthetic workload generation: Poisson arrivals at rate lambda, item
+// choice uniform or Zipfian, transaction size (the paper's s_t) and read
+// fraction configurable, and a pluggable protocol-choice policy (fixed /
+// mixed / dynamic selector).
+#ifndef UNICC_WORKLOAD_GENERATOR_H_
+#define UNICC_WORKLOAD_GENERATOR_H_
+
+#include <cstdint>
+#include <functional>
+#include <vector>
+
+#include "common/rng.h"
+#include "common/types.h"
+#include "txn/transaction.h"
+#include "workload/zipf.h"
+
+namespace unicc {
+
+struct WorkloadOptions {
+  // Global transaction arrival rate (transactions per simulated second).
+  double arrival_rate_per_sec = 20.0;
+  // Number of transactions to generate.
+  std::uint64_t num_txns = 1000;
+  // Transaction size s_t: items accessed, uniform in [min, max].
+  std::uint32_t size_min = 4;
+  std::uint32_t size_max = 4;
+  // Fraction of accessed items that are read-only (rest are writes).
+  double read_fraction = 0.5;
+  // Zipf exponent for item popularity; 0 = uniform.
+  double zipf_theta = 0.0;
+  // Local computing phase duration per transaction.
+  Duration compute_time = 5 * kMillisecond;
+};
+
+// Decides the protocol of each generated transaction. The dynamic selector
+// plugs in here; nullptr defaults to 2PL.
+using ProtocolPolicy = std::function<Protocol(const TxnSpec&)>;
+
+// Fixed-protocol policy.
+ProtocolPolicy FixedProtocol(Protocol p);
+
+// Random mix with the given weights (need not sum to 1).
+ProtocolPolicy MixedProtocol(double w_2pl, double w_to, double w_pa,
+                             Rng rng);
+
+class WorkloadGenerator {
+ public:
+  WorkloadGenerator(WorkloadOptions options, ItemId num_items,
+                    std::uint32_t num_user_sites, Rng rng);
+
+  // Generates the full arrival schedule: (arrival time, spec) pairs with
+  // ids 1..num_txns. Protocols are left as 2PL; the engine applies the
+  // policy at admission (so the selector can use live statistics).
+  struct Arrival {
+    SimTime when;
+    TxnSpec spec;
+  };
+  std::vector<Arrival> Generate();
+
+ private:
+  TxnSpec MakeSpec(TxnId id);
+
+  WorkloadOptions options_;
+  ItemId num_items_;
+  std::uint32_t num_user_sites_;
+  Rng rng_;
+  ZipfGenerator zipf_;
+};
+
+}  // namespace unicc
+
+#endif  // UNICC_WORKLOAD_GENERATOR_H_

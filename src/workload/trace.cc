@@ -1,0 +1,153 @@
+#include "workload/trace.h"
+
+#include <cstdio>
+#include <fstream>
+#include <sstream>
+
+namespace unicc {
+
+namespace {
+
+const char* ProtocolToken(Protocol p) {
+  switch (p) {
+    case Protocol::kTwoPhaseLocking:
+      return "2pl";
+    case Protocol::kTimestampOrdering:
+      return "to";
+    case Protocol::kPrecedenceAgreement:
+      return "pa";
+  }
+  return "?";
+}
+
+bool ParseProtocolToken(const std::string& s, Protocol* out) {
+  if (s == "2pl") {
+    *out = Protocol::kTwoPhaseLocking;
+  } else if (s == "to") {
+    *out = Protocol::kTimestampOrdering;
+  } else if (s == "pa") {
+    *out = Protocol::kPrecedenceAgreement;
+  } else {
+    return false;
+  }
+  return true;
+}
+
+}  // namespace
+
+std::string WorkloadTrace::Serialize(
+    const std::vector<WorkloadGenerator::Arrival>& arrivals) {
+  std::string out;
+  for (const auto& a : arrivals) {
+    char head[160];
+    std::snprintf(head, sizeof(head), "txn %llu %llu %u %s %llu %llu",
+                  static_cast<unsigned long long>(a.spec.id),
+                  static_cast<unsigned long long>(a.when), a.spec.home,
+                  ProtocolToken(a.spec.protocol),
+                  static_cast<unsigned long long>(a.spec.compute_time),
+                  static_cast<unsigned long long>(a.spec.backoff_interval));
+    out += head;
+    out += " r";
+    for (ItemId item : a.spec.read_set) out += " " + std::to_string(item);
+    out += " w";
+    for (ItemId item : a.spec.write_set) out += " " + std::to_string(item);
+    out += "\n";
+  }
+  return out;
+}
+
+StatusOr<std::vector<WorkloadGenerator::Arrival>> WorkloadTrace::Parse(
+    const std::string& text) {
+  std::vector<WorkloadGenerator::Arrival> arrivals;
+  std::istringstream lines(text);
+  std::string line;
+  std::size_t lineno = 0;
+  while (std::getline(lines, line)) {
+    ++lineno;
+    if (line.empty() || line[0] == '#') continue;
+    std::istringstream in(line);
+    std::string tag, proto_token;
+    WorkloadGenerator::Arrival a;
+    unsigned long long id = 0, when = 0, compute = 0, interval = 0;
+    if (!(in >> tag >> id >> when >> a.spec.home >> proto_token >> compute >>
+          interval) ||
+        tag != "txn") {
+      return Status::InvalidArgument("trace line " +
+                                     std::to_string(lineno) +
+                                     ": malformed header");
+    }
+    if (!ParseProtocolToken(proto_token, &a.spec.protocol)) {
+      return Status::InvalidArgument("trace line " +
+                                     std::to_string(lineno) +
+                                     ": unknown protocol");
+    }
+    a.spec.id = id;
+    a.when = when;
+    a.spec.compute_time = compute;
+    a.spec.backoff_interval = interval;
+    std::string section;
+    if (!(in >> section) || section != "r") {
+      return Status::InvalidArgument("trace line " +
+                                     std::to_string(lineno) +
+                                     ": expected read section");
+    }
+    std::string token;
+    bool in_writes = false;
+    while (in >> token) {
+      if (token == "w") {
+        if (in_writes) {
+          return Status::InvalidArgument("trace line " +
+                                         std::to_string(lineno) +
+                                         ": duplicate write section");
+        }
+        in_writes = true;
+        continue;
+      }
+      ItemId item = 0;
+      try {
+        item = static_cast<ItemId>(std::stoul(token));
+      } catch (...) {
+        return Status::InvalidArgument("trace line " +
+                                       std::to_string(lineno) +
+                                       ": bad item '" + token + "'");
+      }
+      if (in_writes) {
+        a.spec.write_set.push_back(item);
+      } else {
+        a.spec.read_set.push_back(item);
+      }
+    }
+    if (!in_writes) {
+      return Status::InvalidArgument("trace line " +
+                                     std::to_string(lineno) +
+                                     ": missing write section");
+    }
+    if (Status s = a.spec.Validate(); !s.ok()) {
+      return Status::InvalidArgument("trace line " +
+                                     std::to_string(lineno) + ": " +
+                                     s.message());
+    }
+    arrivals.push_back(std::move(a));
+  }
+  return arrivals;
+}
+
+Status WorkloadTrace::WriteFile(
+    const std::string& path,
+    const std::vector<WorkloadGenerator::Arrival>& arrivals) {
+  std::ofstream out(path);
+  if (!out) return Status::Internal("cannot open " + path);
+  out << Serialize(arrivals);
+  return out.good() ? Status::OK() : Status::Internal("write failed");
+}
+
+StatusOr<std::vector<WorkloadGenerator::Arrival>> WorkloadTrace::ReadFile(
+    const std::string& path) {
+  std::ifstream in(path);
+  if (!in) return Status::NotFound("cannot open " + path);
+  std::stringstream buffer;
+  buffer << in.rdbuf();
+  return Parse(buffer.str());
+}
+
+}  // namespace unicc

@@ -1,0 +1,39 @@
+// Workload trace record/replay: serialize a generated arrival schedule to a
+// portable text format and load it back, so experiments can be re-run on
+// the exact same workload across engine configurations or library versions.
+//
+// Format (one record per line):
+//   txn <id> <when_us> <home> <protocol> <compute_us> <backoff_interval>
+//       r <item>... w <item>...
+#ifndef UNICC_WORKLOAD_TRACE_H_
+#define UNICC_WORKLOAD_TRACE_H_
+
+#include <string>
+#include <vector>
+
+#include "common/status.h"
+#include "workload/generator.h"
+
+namespace unicc {
+
+class WorkloadTrace {
+ public:
+  // Serializes arrivals to the trace text format.
+  static std::string Serialize(
+      const std::vector<WorkloadGenerator::Arrival>& arrivals);
+
+  // Parses a trace; rejects malformed input.
+  static StatusOr<std::vector<WorkloadGenerator::Arrival>> Parse(
+      const std::string& text);
+
+  // Convenience file helpers.
+  static Status WriteFile(
+      const std::string& path,
+      const std::vector<WorkloadGenerator::Arrival>& arrivals);
+  static StatusOr<std::vector<WorkloadGenerator::Arrival>> ReadFile(
+      const std::string& path);
+};
+
+}  // namespace unicc
+
+#endif  // UNICC_WORKLOAD_TRACE_H_

@@ -1,0 +1,30 @@
+#include "workload/zipf.h"
+
+#include <algorithm>
+#include <cmath>
+
+#include "common/check.h"
+
+namespace unicc {
+
+ZipfGenerator::ZipfGenerator(std::uint64_t n, double theta)
+    : n_(n), theta_(theta) {
+  UNICC_CHECK(n > 0);
+  UNICC_CHECK(theta >= 0);
+  cdf_.resize(n);
+  double sum = 0;
+  for (std::uint64_t i = 0; i < n; ++i) {
+    sum += 1.0 / std::pow(static_cast<double>(i + 1), theta);
+    cdf_[i] = sum;
+  }
+  for (double& c : cdf_) c /= sum;
+}
+
+std::uint64_t ZipfGenerator::Next(Rng& rng) const {
+  const double u = rng.UniformDouble();
+  auto it = std::lower_bound(cdf_.begin(), cdf_.end(), u);
+  if (it == cdf_.end()) return n_ - 1;
+  return static_cast<std::uint64_t>(it - cdf_.begin());
+}
+
+}  // namespace unicc

@@ -1,0 +1,32 @@
+// Zipfian item-popularity distribution (skewed access patterns / hotspots).
+// theta = 0 degenerates to uniform.
+#ifndef UNICC_WORKLOAD_ZIPF_H_
+#define UNICC_WORKLOAD_ZIPF_H_
+
+#include <cstdint>
+#include <vector>
+
+#include "common/rng.h"
+
+namespace unicc {
+
+class ZipfGenerator {
+ public:
+  // `n` ranks with exponent `theta` >= 0.
+  ZipfGenerator(std::uint64_t n, double theta);
+
+  // Draws a rank in [0, n); rank 0 is the most popular.
+  std::uint64_t Next(Rng& rng) const;
+
+  std::uint64_t n() const { return n_; }
+  double theta() const { return theta_; }
+
+ private:
+  std::uint64_t n_;
+  double theta_;
+  std::vector<double> cdf_;  // cumulative probabilities
+};
+
+}  // namespace unicc
+
+#endif  // UNICC_WORKLOAD_ZIPF_H_

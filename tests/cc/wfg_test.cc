@@ -1,0 +1,89 @@
+#include "deadlock/wfg.h"
+
+#include <gtest/gtest.h>
+
+#include <algorithm>
+
+namespace unicc {
+namespace {
+
+TEST(WfgTest, EmptyGraphAcyclic) {
+  WaitForGraph g;
+  EXPECT_TRUE(g.IsAcyclic());
+}
+
+TEST(WfgTest, ChainIsAcyclic) {
+  WaitForGraph g;
+  g.AddEdge(1, 2);
+  g.AddEdge(2, 3);
+  g.AddEdge(3, 4);
+  EXPECT_TRUE(g.IsAcyclic());
+  EXPECT_EQ(g.NumNodes(), 4u);
+  EXPECT_EQ(g.NumEdges(), 3u);
+}
+
+TEST(WfgTest, SelfEdgeIgnored) {
+  WaitForGraph g;
+  g.AddEdge(1, 1);
+  EXPECT_TRUE(g.IsAcyclic());
+}
+
+TEST(WfgTest, TwoCycleDetected) {
+  WaitForGraph g;
+  g.AddEdge(1, 2);
+  g.AddEdge(2, 1);
+  const auto cycle = g.FindCycle();
+  ASSERT_EQ(cycle.size(), 2u);
+  EXPECT_NE(std::find(cycle.begin(), cycle.end(), 1u), cycle.end());
+  EXPECT_NE(std::find(cycle.begin(), cycle.end(), 2u), cycle.end());
+}
+
+TEST(WfgTest, LongCycleDetected) {
+  WaitForGraph g;
+  g.AddEdge(1, 2);
+  g.AddEdge(2, 3);
+  g.AddEdge(3, 4);
+  g.AddEdge(4, 5);
+  g.AddEdge(5, 2);  // cycle 2-3-4-5
+  const auto cycle = g.FindCycle();
+  ASSERT_EQ(cycle.size(), 4u);
+  for (TxnId t : {2u, 3u, 4u, 5u}) {
+    EXPECT_NE(std::find(cycle.begin(), cycle.end(), t), cycle.end());
+  }
+}
+
+TEST(WfgTest, RemoveNodeBreaksCycle) {
+  WaitForGraph g;
+  g.AddEdge(1, 2);
+  g.AddEdge(2, 3);
+  g.AddEdge(3, 1);
+  EXPECT_FALSE(g.IsAcyclic());
+  g.RemoveNode(2);
+  EXPECT_TRUE(g.IsAcyclic());
+}
+
+TEST(WfgTest, DisjointComponentsEachChecked) {
+  WaitForGraph g;
+  g.AddEdge(1, 2);  // acyclic component
+  g.AddEdge(10, 11);
+  g.AddEdge(11, 10);  // cyclic component
+  EXPECT_FALSE(g.IsAcyclic());
+  g.RemoveNode(10);
+  EXPECT_TRUE(g.IsAcyclic());
+}
+
+TEST(WfgTest, AddEdgesBatch) {
+  WaitForGraph g;
+  g.AddEdges({{1, 2}, {2, 3}, {3, 1}});
+  EXPECT_FALSE(g.IsAcyclic());
+}
+
+TEST(WfgTest, DuplicateEdgesNotDoubleCounted) {
+  WaitForGraph g;
+  g.AddEdge(1, 2);
+  g.AddEdge(1, 2);
+  EXPECT_EQ(g.NumEdges(), 1u);
+}
+
+}  // namespace
+}  // namespace unicc

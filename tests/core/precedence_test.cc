@@ -1,0 +1,91 @@
+#include "cc/precedence.h"
+
+#include <gtest/gtest.h>
+
+#include "cc/lock.h"
+
+namespace unicc {
+namespace {
+
+// Rule 1: timestamp value dominates.
+TEST(PrecedenceTest, TimestampDominates) {
+  const auto a = Precedence::ForTimestamped(5, 9, 100);
+  const auto b = Precedence::ForTimestamped(6, 0, 1);
+  EXPECT_LT(a, b);
+  const auto c = Precedence::For2pl(4, 0);  // 2PL at smaller hwm
+  EXPECT_LT(c, a);
+}
+
+// Rule 2: ties broken by site id; 2PL counts as the biggest site.
+TEST(PrecedenceTest, SiteIdBreaksTies) {
+  const auto a = Precedence::ForTimestamped(5, 1, 100);
+  const auto b = Precedence::ForTimestamped(5, 2, 1);
+  EXPECT_LT(a, b);
+  const auto twopl = Precedence::For2pl(5, 0);
+  EXPECT_LT(a, twopl);
+  EXPECT_LT(b, twopl);
+}
+
+// Rule 3a: two 2PL requests with equal timestamps order by arrival.
+TEST(PrecedenceTest, TwoPlArrivalOrderBreaksTies) {
+  const auto first = Precedence::For2pl(5, 0);
+  const auto second = Precedence::For2pl(5, 1);
+  EXPECT_LT(first, second);
+}
+
+// Rule 3b: two timestamped requests from the same site order by txn id.
+TEST(PrecedenceTest, TxnIdBreaksTies) {
+  const auto a = Precedence::ForTimestamped(5, 1, 10);
+  const auto b = Precedence::ForTimestamped(5, 1, 11);
+  EXPECT_LT(a, b);
+}
+
+TEST(PrecedenceTest, EqualityIsStructural) {
+  const auto a = Precedence::ForTimestamped(5, 1, 10);
+  const auto b = Precedence::ForTimestamped(5, 1, 10);
+  EXPECT_EQ(a, b);
+}
+
+TEST(PrecedenceTest, TwoPlAtTailEvenAgainstLaterBiggerTs) {
+  // A 2PL request assigned hwm T sorts before a timestamped request with
+  // ts > T (the newcomer has a genuinely bigger timestamp).
+  const auto twopl = Precedence::For2pl(10, 0);
+  const auto later = Precedence::ForTimestamped(11, 0, 1);
+  EXPECT_LT(twopl, later);
+}
+
+TEST(PrecedenceTest, ToStringMentionsKind) {
+  EXPECT_NE(Precedence::For2pl(3, 1).ToString().find("2PL"),
+            std::string::npos);
+}
+
+// Lock conflict matrix of Section 4.2.
+TEST(LockTest, ConflictMatrix) {
+  using enum LockKind;
+  // RL vs RL / SRL: no conflict.
+  EXPECT_FALSE(LocksConflict(kReadLock, kReadLock));
+  EXPECT_FALSE(LocksConflict(kReadLock, kSemiReadLock));
+  EXPECT_FALSE(LocksConflict(kSemiReadLock, kSemiReadLock));
+  // Anything with WL or SWL conflicts.
+  EXPECT_TRUE(LocksConflict(kReadLock, kWriteLock));
+  EXPECT_TRUE(LocksConflict(kWriteLock, kWriteLock));
+  EXPECT_TRUE(LocksConflict(kSemiWriteLock, kReadLock));
+  EXPECT_TRUE(LocksConflict(kSemiWriteLock, kSemiReadLock));
+  EXPECT_TRUE(LocksConflict(kSemiWriteLock, kSemiWriteLock));
+  EXPECT_TRUE(LocksConflict(kWriteLock, kSemiReadLock));
+}
+
+TEST(LockTest, ToSemiTransform) {
+  EXPECT_EQ(ToSemi(LockKind::kReadLock), LockKind::kSemiReadLock);
+  EXPECT_EQ(ToSemi(LockKind::kWriteLock), LockKind::kSemiWriteLock);
+  EXPECT_EQ(ToSemi(LockKind::kSemiReadLock), LockKind::kSemiReadLock);
+  EXPECT_EQ(ToSemi(LockKind::kSemiWriteLock), LockKind::kSemiWriteLock);
+}
+
+TEST(LockTest, Names) {
+  EXPECT_EQ(LockKindName(LockKind::kReadLock), "RL");
+  EXPECT_EQ(LockKindName(LockKind::kSemiWriteLock), "SWL");
+}
+
+}  // namespace
+}  // namespace unicc

@@ -1,0 +1,87 @@
+#include "sim/simulator.h"
+
+#include <gtest/gtest.h>
+
+#include <vector>
+
+namespace unicc {
+namespace {
+
+TEST(SimulatorTest, RunsEventsInTimeOrder) {
+  Simulator sim;
+  std::vector<int> order;
+  sim.Schedule(30, [&] { order.push_back(3); });
+  sim.Schedule(10, [&] { order.push_back(1); });
+  sim.Schedule(20, [&] { order.push_back(2); });
+  sim.RunToCompletion();
+  EXPECT_EQ(order, (std::vector<int>{1, 2, 3}));
+  EXPECT_EQ(sim.Now(), 30u);
+}
+
+TEST(SimulatorTest, TiesResolveInSchedulingOrder) {
+  Simulator sim;
+  std::vector<int> order;
+  sim.Schedule(10, [&] { order.push_back(1); });
+  sim.Schedule(10, [&] { order.push_back(2); });
+  sim.Schedule(10, [&] { order.push_back(3); });
+  sim.RunToCompletion();
+  EXPECT_EQ(order, (std::vector<int>{1, 2, 3}));
+}
+
+TEST(SimulatorTest, NestedSchedulingRunsAtCorrectTime) {
+  Simulator sim;
+  SimTime inner_time = 0;
+  sim.Schedule(5, [&] {
+    sim.Schedule(7, [&] { inner_time = sim.Now(); });
+  });
+  sim.RunToCompletion();
+  EXPECT_EQ(inner_time, 12u);
+}
+
+TEST(SimulatorTest, CancelPreventsExecution) {
+  Simulator sim;
+  bool ran = false;
+  const auto id = sim.Schedule(10, [&] { ran = true; });
+  EXPECT_TRUE(sim.Cancel(id));
+  EXPECT_FALSE(sim.Cancel(id));  // second cancel is a no-op
+  sim.RunToCompletion();
+  EXPECT_FALSE(ran);
+}
+
+TEST(SimulatorTest, RunUntilStopsAtBoundaryInclusive) {
+  Simulator sim;
+  int ran = 0;
+  sim.Schedule(10, [&] { ++ran; });
+  sim.Schedule(20, [&] { ++ran; });
+  sim.Schedule(21, [&] { ++ran; });
+  EXPECT_EQ(sim.RunUntil(20), 2u);
+  EXPECT_EQ(ran, 2);
+  sim.RunToCompletion();
+  EXPECT_EQ(ran, 3);
+}
+
+TEST(SimulatorTest, RunUntilAdvancesClockWhenQueueEmpty) {
+  Simulator sim;
+  sim.RunUntil(100);
+  EXPECT_EQ(sim.Now(), 100u);
+}
+
+TEST(SimulatorTest, ScheduleAtAbsoluteTime) {
+  Simulator sim;
+  SimTime seen = 0;
+  sim.ScheduleAt(42, [&] { seen = sim.Now(); });
+  sim.RunToCompletion();
+  EXPECT_EQ(seen, 42u);
+}
+
+TEST(SimulatorTest, EventsRunCountsExecutedOnly) {
+  Simulator sim;
+  sim.Schedule(1, [] {});
+  const auto id = sim.Schedule(2, [] {});
+  sim.Cancel(id);
+  sim.RunToCompletion();
+  EXPECT_EQ(sim.EventsRun(), 1u);
+}
+
+}  // namespace
+}  // namespace unicc

@@ -1,0 +1,103 @@
+#include <gtest/gtest.h>
+
+#include <set>
+
+#include "storage/catalog.h"
+#include "storage/log.h"
+#include "storage/store.h"
+
+namespace unicc {
+namespace {
+
+TEST(CatalogTest, RejectsBadArguments) {
+  EXPECT_FALSE(Catalog::Make(0, {1}, 1).ok());
+  EXPECT_FALSE(Catalog::Make(10, {}, 1).ok());
+  EXPECT_FALSE(Catalog::Make(10, {1, 2}, 3).ok());
+  EXPECT_FALSE(Catalog::Make(10, {1, 2}, 0).ok());
+  EXPECT_TRUE(Catalog::Make(10, {1, 2}, 2).ok());
+}
+
+TEST(CatalogTest, ReplicationPlacesDistinctSites) {
+  auto c = Catalog::Make(20, {4, 5, 6}, 3).value();
+  for (ItemId i = 0; i < 20; ++i) {
+    auto copies = c.CopiesOf(i);
+    ASSERT_EQ(copies.size(), 3u);
+    std::set<SiteId> sites;
+    for (const auto& copy : copies) {
+      EXPECT_EQ(copy.item, i);
+      sites.insert(copy.site);
+    }
+    EXPECT_EQ(sites.size(), 3u);
+  }
+}
+
+TEST(CatalogTest, ReadCopyIsOneOfTheCopies) {
+  auto c = Catalog::Make(8, {2, 3}, 2).value();
+  for (ItemId i = 0; i < 8; ++i) {
+    auto copies = c.CopiesOf(i);
+    for (std::uint64_t pref = 0; pref < 5; ++pref) {
+      const CopyId rc = c.ReadCopy(i, pref);
+      EXPECT_NE(std::find(copies.begin(), copies.end(), rc), copies.end());
+    }
+  }
+}
+
+TEST(CatalogTest, SingleReplicaReadsAlwaysSameCopy) {
+  auto c = Catalog::Make(8, {2, 3}, 1).value();
+  EXPECT_EQ(c.ReadCopy(4, 0), c.ReadCopy(4, 99));
+}
+
+TEST(CatalogTest, CopiesAtPartitionsAllCopies) {
+  auto c = Catalog::Make(10, {7, 8, 9}, 2).value();
+  std::size_t total = 0;
+  for (SiteId s : {7u, 8u, 9u}) total += c.CopiesAt(s).size();
+  EXPECT_EQ(total, 10u * 2u);
+}
+
+TEST(StoreTest, ReadsZeroWhenUnwritten) {
+  Store s;
+  EXPECT_EQ(s.Read(CopyId{1, 2}), 0u);
+}
+
+TEST(StoreTest, WriteThenRead) {
+  Store s;
+  s.Write(CopyId{1, 2}, 77);
+  EXPECT_EQ(s.Read(CopyId{1, 2}), 77u);
+  s.Write(CopyId{1, 2}, 78);
+  EXPECT_EQ(s.Read(CopyId{1, 2}), 78u);
+  EXPECT_EQ(s.WrittenCopies(), 1u);
+}
+
+TEST(LogTest, AppendsInSequenceOrder) {
+  ImplementationLog log;
+  const CopyId c{3, 1};
+  log.Append(c, 10, 1, OpType::kRead, 5);
+  log.Append(c, 11, 1, OpType::kWrite, 6);
+  const auto& records = log.LogOf(c);
+  ASSERT_EQ(records.size(), 2u);
+  EXPECT_EQ(records[0].txn, 10u);
+  EXPECT_EQ(records[1].txn, 11u);
+  EXPECT_LT(records[0].seq, records[1].seq);
+  EXPECT_EQ(log.TotalRecords(), 2u);
+}
+
+TEST(LogTest, SeparateCopiesSeparateLogs) {
+  ImplementationLog log;
+  log.Append(CopyId{1, 0}, 1, 1, OpType::kRead, 0);
+  log.Append(CopyId{2, 0}, 2, 1, OpType::kRead, 0);
+  EXPECT_EQ(log.LogOf(CopyId{1, 0}).size(), 1u);
+  EXPECT_EQ(log.LogOf(CopyId{2, 0}).size(), 1u);
+  EXPECT_EQ(log.LogOf(CopyId{3, 0}).size(), 0u);
+  EXPECT_EQ(log.Copies().size(), 2u);
+}
+
+TEST(LogTest, ClearResets) {
+  ImplementationLog log;
+  log.Append(CopyId{1, 0}, 1, 1, OpType::kRead, 0);
+  log.Clear();
+  EXPECT_EQ(log.TotalRecords(), 0u);
+  EXPECT_TRUE(log.Copies().empty());
+}
+
+}  // namespace
+}  // namespace unicc

@@ -1,0 +1,88 @@
+#include "workload/trace.h"
+
+#include <gtest/gtest.h>
+
+namespace unicc {
+namespace {
+
+std::vector<WorkloadGenerator::Arrival> SampleArrivals() {
+  WorkloadOptions wo;
+  wo.num_txns = 40;
+  wo.size_min = 2;
+  wo.size_max = 5;
+  wo.read_fraction = 0.4;
+  WorkloadGenerator gen(wo, 64, 3, Rng(77));
+  auto arrivals = gen.Generate();
+  // Give some transactions non-default protocols and intervals.
+  arrivals[3].spec.protocol = Protocol::kPrecedenceAgreement;
+  arrivals[3].spec.backoff_interval = 128;
+  arrivals[7].spec.protocol = Protocol::kTimestampOrdering;
+  return arrivals;
+}
+
+TEST(WorkloadTraceTest, RoundTripPreservesEverything) {
+  const auto original = SampleArrivals();
+  const std::string text = WorkloadTrace::Serialize(original);
+  auto parsed = WorkloadTrace::Parse(text);
+  ASSERT_TRUE(parsed.ok()) << parsed.status().ToString();
+  ASSERT_EQ(parsed->size(), original.size());
+  for (std::size_t i = 0; i < original.size(); ++i) {
+    const auto& a = original[i];
+    const auto& b = (*parsed)[i];
+    EXPECT_EQ(a.when, b.when);
+    EXPECT_EQ(a.spec.id, b.spec.id);
+    EXPECT_EQ(a.spec.home, b.spec.home);
+    EXPECT_EQ(a.spec.protocol, b.spec.protocol);
+    EXPECT_EQ(a.spec.compute_time, b.spec.compute_time);
+    EXPECT_EQ(a.spec.backoff_interval, b.spec.backoff_interval);
+    EXPECT_EQ(a.spec.read_set, b.spec.read_set);
+    EXPECT_EQ(a.spec.write_set, b.spec.write_set);
+  }
+}
+
+TEST(WorkloadTraceTest, CommentsAndBlankLinesIgnored) {
+  auto parsed = WorkloadTrace::Parse(
+      "# a comment\n\ntxn 1 100 0 2pl 5000 0 r 1 2 w 3\n");
+  ASSERT_TRUE(parsed.ok());
+  ASSERT_EQ(parsed->size(), 1u);
+  EXPECT_EQ((*parsed)[0].spec.read_set, (std::vector<ItemId>{1, 2}));
+  EXPECT_EQ((*parsed)[0].spec.write_set, (std::vector<ItemId>{3}));
+}
+
+TEST(WorkloadTraceTest, ReadOnlyAndWriteOnlyTransactions) {
+  auto parsed = WorkloadTrace::Parse(
+      "txn 1 0 0 to 0 0 r 5 w\n"
+      "txn 2 1 0 pa 0 64 r w 6 7\n");
+  ASSERT_TRUE(parsed.ok());
+  EXPECT_TRUE((*parsed)[0].spec.write_set.empty());
+  EXPECT_TRUE((*parsed)[1].spec.read_set.empty());
+}
+
+TEST(WorkloadTraceTest, RejectsMalformedInput) {
+  EXPECT_FALSE(WorkloadTrace::Parse("nonsense\n").ok());
+  EXPECT_FALSE(WorkloadTrace::Parse("txn 1 0 0 xxx 0 0 r w 1\n").ok());
+  EXPECT_FALSE(WorkloadTrace::Parse("txn 1 0 0 2pl 0 0 w 1\n").ok());
+  EXPECT_FALSE(WorkloadTrace::Parse("txn 1 0 0 2pl 0 0 r 1\n").ok());
+  EXPECT_FALSE(
+      WorkloadTrace::Parse("txn 1 0 0 2pl 0 0 r abc w 1\n").ok());
+  // Validation failures propagate (item in both sets).
+  EXPECT_FALSE(WorkloadTrace::Parse("txn 1 0 0 2pl 0 0 r 1 w 1\n").ok());
+}
+
+TEST(WorkloadTraceTest, FileRoundTrip) {
+  const auto original = SampleArrivals();
+  const std::string path = ::testing::TempDir() + "/unicc_trace_test.txt";
+  ASSERT_TRUE(WorkloadTrace::WriteFile(path, original).ok());
+  auto parsed = WorkloadTrace::ReadFile(path);
+  ASSERT_TRUE(parsed.ok());
+  EXPECT_EQ(parsed->size(), original.size());
+}
+
+TEST(WorkloadTraceTest, MissingFileIsNotFound) {
+  auto parsed = WorkloadTrace::ReadFile("/nonexistent/path/trace.txt");
+  EXPECT_FALSE(parsed.ok());
+  EXPECT_EQ(parsed.status().code(), StatusCode::kNotFound);
+}
+
+}  // namespace
+}  // namespace unicc

@@ -1,0 +1,67 @@
+#include <gtest/gtest.h>
+
+#include "txn/timestamp.h"
+#include "txn/transaction.h"
+
+namespace unicc {
+namespace {
+
+TEST(TxnSpecTest, ValidSpec) {
+  TxnSpec t;
+  t.read_set = {1, 2};
+  t.write_set = {3};
+  EXPECT_TRUE(t.Validate().ok());
+  EXPECT_EQ(t.NumRequests(), 3u);
+}
+
+TEST(TxnSpecTest, RejectsEmptyAccess) {
+  TxnSpec t;
+  EXPECT_FALSE(t.Validate().ok());
+}
+
+TEST(TxnSpecTest, RejectsOverlap) {
+  TxnSpec t;
+  t.read_set = {1};
+  t.write_set = {1};
+  EXPECT_FALSE(t.Validate().ok());
+}
+
+TEST(TxnSpecTest, RejectsDuplicates) {
+  TxnSpec t;
+  t.read_set = {1, 1};
+  EXPECT_FALSE(t.Validate().ok());
+  TxnSpec u;
+  u.write_set = {2, 2};
+  EXPECT_FALSE(u.Validate().ok());
+}
+
+TEST(TimestampGeneratorTest, StrictlyIncreasing) {
+  TimestampGenerator gen;
+  Timestamp prev = 0;
+  for (SimTime now : {0u, 0u, 5u, 5u, 5u, 100u}) {
+    const Timestamp ts = gen.Next(now);
+    EXPECT_GT(ts, prev);
+    prev = ts;
+  }
+}
+
+TEST(TimestampGeneratorTest, TracksSimTime) {
+  TimestampGenerator gen;
+  EXPECT_GE(gen.Next(1000), 1000u);
+}
+
+TEST(TimestampGeneratorTest, ObservePullsForward) {
+  TimestampGenerator gen;
+  gen.Observe(500);
+  EXPECT_GT(gen.Next(0), 500u);
+}
+
+TEST(TxnResultTest, SystemTime) {
+  TxnResult r;
+  r.arrival = 100;
+  r.commit = 350;
+  EXPECT_EQ(r.SystemTime(), 250u);
+}
+
+}  // namespace
+}  // namespace unicc

@@ -1,0 +1,133 @@
+#include "workload/generator.h"
+
+#include <gtest/gtest.h>
+
+#include <map>
+
+#include "workload/zipf.h"
+
+namespace unicc {
+namespace {
+
+TEST(ZipfTest, UniformWhenThetaZero) {
+  ZipfGenerator zipf(10, 0.0);
+  Rng rng(1);
+  std::map<std::uint64_t, int> counts;
+  for (int i = 0; i < 20000; ++i) ++counts[zipf.Next(rng)];
+  for (const auto& [rank, n] : counts) {
+    EXPECT_NEAR(n, 2000, 250) << "rank " << rank;
+  }
+}
+
+TEST(ZipfTest, SkewedWhenThetaPositive) {
+  ZipfGenerator zipf(100, 1.0);
+  Rng rng(2);
+  std::map<std::uint64_t, int> counts;
+  for (int i = 0; i < 20000; ++i) ++counts[zipf.Next(rng)];
+  // Rank 0 must be far more popular than rank 50.
+  EXPECT_GT(counts[0], counts[50] * 10);
+}
+
+TEST(ZipfTest, StaysInRange) {
+  ZipfGenerator zipf(7, 0.9);
+  Rng rng(3);
+  for (int i = 0; i < 1000; ++i) EXPECT_LT(zipf.Next(rng), 7u);
+}
+
+TEST(WorkloadGeneratorTest, GeneratesRequestedCount) {
+  WorkloadOptions wo;
+  wo.num_txns = 250;
+  WorkloadGenerator gen(wo, 100, 4, Rng(5));
+  const auto arrivals = gen.Generate();
+  ASSERT_EQ(arrivals.size(), 250u);
+  // Ids are 1..n, arrival times strictly ordered (exponential gaps > 0).
+  for (std::size_t i = 0; i < arrivals.size(); ++i) {
+    EXPECT_EQ(arrivals[i].spec.id, i + 1);
+    if (i > 0) EXPECT_GE(arrivals[i].when, arrivals[i - 1].when);
+  }
+}
+
+TEST(WorkloadGeneratorTest, RespectsSizeBounds) {
+  WorkloadOptions wo;
+  wo.num_txns = 200;
+  wo.size_min = 2;
+  wo.size_max = 5;
+  WorkloadGenerator gen(wo, 50, 2, Rng(6));
+  for (const auto& a : gen.Generate()) {
+    const std::size_t size = a.spec.NumRequests();
+    EXPECT_GE(size, 2u);
+    EXPECT_LE(size, 5u);
+    EXPECT_TRUE(a.spec.Validate().ok());
+    EXPECT_LT(a.spec.home, 2u);
+  }
+}
+
+TEST(WorkloadGeneratorTest, ReadFractionExtremes) {
+  WorkloadOptions wo;
+  wo.num_txns = 100;
+  wo.read_fraction = 0.0;
+  WorkloadGenerator gen(wo, 50, 2, Rng(7));
+  for (const auto& a : gen.Generate()) {
+    EXPECT_TRUE(a.spec.read_set.empty());
+    EXPECT_FALSE(a.spec.write_set.empty());
+  }
+  wo.read_fraction = 1.0;
+  WorkloadGenerator gen2(wo, 50, 2, Rng(8));
+  for (const auto& a : gen2.Generate()) {
+    EXPECT_TRUE(a.spec.write_set.empty());
+  }
+}
+
+TEST(WorkloadGeneratorTest, ArrivalRateApproximatelyRespected) {
+  WorkloadOptions wo;
+  wo.num_txns = 2000;
+  wo.arrival_rate_per_sec = 50;
+  WorkloadGenerator gen(wo, 100, 4, Rng(9));
+  const auto arrivals = gen.Generate();
+  const double span_sec =
+      static_cast<double>(arrivals.back().when) / kSecond;
+  EXPECT_NEAR(2000.0 / span_sec, 50.0, 5.0);
+}
+
+TEST(WorkloadGeneratorTest, DeterministicForSameSeed) {
+  WorkloadOptions wo;
+  wo.num_txns = 50;
+  WorkloadGenerator a(wo, 100, 4, Rng(10)), b(wo, 100, 4, Rng(10));
+  const auto va = a.Generate(), vb = b.Generate();
+  for (std::size_t i = 0; i < va.size(); ++i) {
+    EXPECT_EQ(va[i].when, vb[i].when);
+    EXPECT_EQ(va[i].spec.read_set, vb[i].spec.read_set);
+    EXPECT_EQ(va[i].spec.write_set, vb[i].spec.write_set);
+  }
+}
+
+TEST(ProtocolPolicyTest, FixedAlwaysSame) {
+  auto policy = FixedProtocol(Protocol::kPrecedenceAgreement);
+  TxnSpec spec;
+  for (int i = 0; i < 10; ++i) {
+    EXPECT_EQ(policy(spec), Protocol::kPrecedenceAgreement);
+  }
+}
+
+TEST(ProtocolPolicyTest, MixedRoughlyProportional) {
+  auto policy = MixedProtocol(2, 1, 1, Rng(11));
+  TxnSpec spec;
+  int counts[3] = {0, 0, 0};
+  for (int i = 0; i < 4000; ++i) {
+    ++counts[static_cast<int>(policy(spec))];
+  }
+  EXPECT_NEAR(counts[0], 2000, 150);
+  EXPECT_NEAR(counts[1], 1000, 120);
+  EXPECT_NEAR(counts[2], 1000, 120);
+}
+
+TEST(ProtocolPolicyTest, ZeroWeightNeverChosen) {
+  auto policy = MixedProtocol(1, 0, 1, Rng(12));
+  TxnSpec spec;
+  for (int i = 0; i < 1000; ++i) {
+    EXPECT_NE(policy(spec), Protocol::kTimestampOrdering);
+  }
+}
+
+}  // namespace
+}  // namespace unicc

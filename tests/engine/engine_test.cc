@@ -1,0 +1,485 @@
+#include "engine/engine.h"
+
+#include <gtest/gtest.h>
+
+#include <numeric>
+
+#include "../test_util.h"
+#include "workload/trace.h"
+
+namespace unicc {
+namespace {
+
+using test::RunWorkload;
+using test::SmallEngine;
+using test::SmallWorkload;
+
+TEST(EngineTest, RejectsInvalidTransactions) {
+  Engine engine(SmallEngine());
+  TxnSpec bad;  // empty access set
+  bad.id = 1;
+  EXPECT_FALSE(engine.AddTransaction(0, bad).ok());
+  TxnSpec out_of_range;
+  out_of_range.id = 2;
+  out_of_range.read_set = {10'000};
+  EXPECT_FALSE(engine.AddTransaction(0, out_of_range).ok());
+  TxnSpec bad_home;
+  bad_home.id = 3;
+  bad_home.read_set = {1};
+  bad_home.home = 99;
+  EXPECT_FALSE(engine.AddTransaction(0, bad_home).ok());
+}
+
+TEST(EngineTest, SingleTransactionCommits) {
+  Engine engine(SmallEngine());
+  TxnSpec t;
+  t.id = 1;
+  t.home = 0;
+  t.read_set = {1};
+  t.write_set = {2};
+  t.compute_time = kMillisecond;
+  ASSERT_TRUE(engine.AddTransaction(0, t).ok());
+  const RunSummary s = engine.Run();
+  EXPECT_EQ(s.committed, 1u);
+  EXPECT_GT(s.mean_system_time_ms, 0);
+  EXPECT_TRUE(engine.CheckSerializability().serializable);
+}
+
+struct BackendCase {
+  BackendKind backend;
+  Protocol protocol;
+  const char* name;
+};
+
+class PerProtocolEngineTest : public ::testing::TestWithParam<BackendCase> {};
+
+TEST_P(PerProtocolEngineTest, WorkloadCommitsAndSerializable) {
+  const BackendCase& c = GetParam();
+  EngineOptions eo = SmallEngine(11);
+  eo.backend = c.backend;
+  eo.pure_protocol = c.protocol;
+  if (c.protocol != Protocol::kTwoPhaseLocking &&
+      c.backend == BackendKind::kPure &&
+      c.protocol == Protocol::kTimestampOrdering) {
+    eo.detector = DetectorKind::kNone;  // pure T/O cannot deadlock
+  }
+  auto run = RunWorkload(eo, SmallWorkload(120), FixedProtocol(c.protocol));
+  EXPECT_EQ(run.summary.committed, 120u);
+  const auto report = run.engine->CheckSerializability();
+  EXPECT_TRUE(report.serializable)
+      << "cycle size: " << report.cycle.size();
+  EXPECT_TRUE(run.engine->ReplicasConsistent());
+}
+
+INSTANTIATE_TEST_SUITE_P(
+    AllBackends, PerProtocolEngineTest,
+    ::testing::Values(
+        BackendCase{BackendKind::kPure, Protocol::kTwoPhaseLocking, "p2pl"},
+        BackendCase{BackendKind::kPure, Protocol::kTimestampOrdering, "pto"},
+        BackendCase{BackendKind::kPure, Protocol::kPrecedenceAgreement,
+                    "ppa"},
+        BackendCase{BackendKind::kUnified, Protocol::kTwoPhaseLocking,
+                    "u2pl"},
+        BackendCase{BackendKind::kUnified, Protocol::kTimestampOrdering,
+                    "uto"},
+        BackendCase{BackendKind::kUnified, Protocol::kPrecedenceAgreement,
+                    "upa"}),
+    [](const ::testing::TestParamInfo<BackendCase>& info) {
+      return info.param.name;
+    });
+
+TEST(EngineTest, UnifiedMixedWorkloadSerializable) {
+  EngineOptions eo = SmallEngine(13);
+  auto run = RunWorkload(eo, SmallWorkload(150),
+                         MixedProtocol(1, 1, 1, Rng(99)));
+  EXPECT_EQ(run.summary.committed, 150u);
+  EXPECT_TRUE(run.engine->CheckSerializability().serializable);
+  EXPECT_TRUE(run.engine->ReplicasConsistent());
+  // All three protocols actually ran.
+  for (auto p : {Protocol::kTwoPhaseLocking, Protocol::kTimestampOrdering,
+                 Protocol::kPrecedenceAgreement}) {
+    EXPECT_GT(run.engine->metrics().ForProtocol(p).committed, 0u)
+        << ProtocolName(p);
+  }
+}
+
+TEST(EngineTest, PaNeverRestarts) {
+  EngineOptions eo = SmallEngine(17);
+  eo.network.jitter_mean = 2 * kMillisecond;
+  eo.max_clock_skew = 80 * kMillisecond;
+  WorkloadOptions wo = SmallWorkload(200);
+  wo.arrival_rate_per_sec = 150;  // heavy load
+  wo.size_min = 3;
+  wo.size_max = 5;
+  auto run = RunWorkload(eo, wo,
+                         FixedProtocol(Protocol::kPrecedenceAgreement));
+  EXPECT_EQ(run.summary.committed, 200u);
+  EXPECT_EQ(run.summary.reject_restarts, 0u);   // Corollary 1
+  EXPECT_EQ(run.summary.deadlock_victims, 0u);  // Corollary 1
+  EXPECT_GT(run.summary.backoff_rounds, 0u);    // load high enough to back off
+  EXPECT_TRUE(run.engine->CheckSerializability().serializable);
+}
+
+TEST(EngineTest, PureToRestartsButNeverDeadlocks) {
+  EngineOptions eo = SmallEngine(19);
+  eo.backend = BackendKind::kPure;
+  eo.pure_protocol = Protocol::kTimestampOrdering;
+  eo.detector = DetectorKind::kNone;
+  eo.network.jitter_mean = 3 * kMillisecond;
+  WorkloadOptions wo = SmallWorkload(200);
+  wo.arrival_rate_per_sec = 150;
+  wo.read_fraction = 0.3;
+  auto run = RunWorkload(eo, wo,
+                         FixedProtocol(Protocol::kTimestampOrdering));
+  EXPECT_EQ(run.summary.committed, 200u);
+  EXPECT_GT(run.summary.reject_restarts, 0u);
+  EXPECT_EQ(run.summary.deadlock_victims, 0u);
+  EXPECT_TRUE(run.engine->CheckSerializability().serializable);
+}
+
+TEST(EngineTest, TwoPlDeadlocksDetectedAndResolved) {
+  EngineOptions eo = SmallEngine(23);
+  eo.num_items = 4;  // extreme contention to force deadlocks
+  eo.network.jitter_mean = 3 * kMillisecond;
+  eo.central_detector.interval = 20 * kMillisecond;
+  WorkloadOptions wo = SmallWorkload(100);
+  wo.arrival_rate_per_sec = 120;
+  wo.read_fraction = 0.0;  // write-write conflicts
+  wo.size_min = 2;
+  wo.size_max = 3;
+  auto run =
+      RunWorkload(eo, wo, FixedProtocol(Protocol::kTwoPhaseLocking));
+  EXPECT_EQ(run.summary.committed, 100u);
+  EXPECT_GT(run.summary.deadlock_victims, 0u);
+  EXPECT_TRUE(run.engine->CheckSerializability().serializable);
+}
+
+TEST(EngineTest, ProbeDetectorAlsoResolvesDeadlocks) {
+  EngineOptions eo = SmallEngine(29);
+  eo.num_items = 4;
+  eo.network.jitter_mean = 3 * kMillisecond;
+  eo.detector = DetectorKind::kProbe;
+  eo.probe_detector.interval = 20 * kMillisecond;
+  eo.probe_detector.min_wait = 20 * kMillisecond;
+  WorkloadOptions wo = SmallWorkload(100);
+  wo.arrival_rate_per_sec = 120;
+  wo.read_fraction = 0.0;
+  wo.size_min = 2;
+  wo.size_max = 3;
+  auto run =
+      RunWorkload(eo, wo, FixedProtocol(Protocol::kTwoPhaseLocking));
+  EXPECT_EQ(run.summary.committed, 100u);
+  EXPECT_GT(run.summary.deadlock_victims, 0u);
+  EXPECT_TRUE(run.engine->CheckSerializability().serializable);
+}
+
+// The Section 4.2 example: t1, t2 run T/O, t3 runs 2PL over items x, y, z.
+// The unified enforcement (semi-locks) must keep every interleaving
+// serializable; this replays the scenario across many seeds and timings
+// under both deadlock detectors. Seed 23 with the central detector is the
+// regression for the lingering-transaction deadlock of DESIGN.md 7b.
+struct PaperExampleCase {
+  std::uint64_t seed;
+  DetectorKind detector;
+};
+
+class PaperExampleTest
+    : public ::testing::TestWithParam<PaperExampleCase> {};
+
+TEST_P(PaperExampleTest, Section42ExampleSerializable) {
+  EngineOptions eo = SmallEngine(GetParam().seed);
+  eo.detector = GetParam().detector;
+  eo.probe_detector.interval = 25 * kMillisecond;
+  eo.probe_detector.min_wait = 25 * kMillisecond;
+  eo.num_items = 3;
+  eo.num_user_sites = 3;
+  eo.num_data_sites = 3;
+  eo.network.jitter_mean = 4 * kMillisecond;
+  Engine engine(eo);
+  const ItemId x = 0, y = 1, z = 2;
+  TxnSpec t1;
+  t1.id = 1;
+  t1.home = 0;
+  t1.protocol = Protocol::kTimestampOrdering;
+  t1.read_set = {x};
+  t1.write_set = {y};
+  TxnSpec t2;
+  t2.id = 2;
+  t2.home = 1;
+  t2.protocol = Protocol::kTimestampOrdering;
+  t2.read_set = {y};
+  t2.write_set = {z};
+  TxnSpec t3;
+  t3.id = 3;
+  t3.home = 2;
+  t3.protocol = Protocol::kTwoPhaseLocking;
+  t3.read_set = {z};
+  t3.write_set = {x};
+  // Stagger arrivals inside one network round-trip so requests interleave.
+  ASSERT_TRUE(engine.AddTransaction(0, t1).ok());
+  ASSERT_TRUE(
+      engine.AddTransaction(GetParam().seed % 7 * kMillisecond, t2).ok());
+  ASSERT_TRUE(
+      engine.AddTransaction(GetParam().seed % 11 * kMillisecond, t3).ok());
+  const RunSummary s = engine.Run();
+  EXPECT_EQ(s.committed, 3u);
+  EXPECT_TRUE(engine.CheckSerializability().serializable);
+}
+
+std::vector<PaperExampleCase> PaperExampleCases() {
+  std::vector<PaperExampleCase> cases;
+  for (std::uint64_t seed = 1; seed < 25; ++seed) {
+    cases.push_back({seed, DetectorKind::kCentral});
+    cases.push_back({seed, DetectorKind::kProbe});
+  }
+  return cases;
+}
+
+INSTANTIATE_TEST_SUITE_P(Seeds, PaperExampleTest,
+                         ::testing::ValuesIn(PaperExampleCases()),
+                         [](const auto& info) {
+                           return "seed" + std::to_string(info.param.seed) +
+                                  (info.param.detector ==
+                                           DetectorKind::kCentral
+                                       ? "_central"
+                                       : "_probe");
+                         });
+
+TEST(EngineTest, BankingTransfersPreserveTotal) {
+  EngineOptions eo = SmallEngine(31);
+  eo.num_items = 8;
+  Engine engine(eo);
+  const std::uint64_t kInitial = 1000;
+  // Funding transaction initializes all accounts.
+  TxnSpec fund;
+  fund.id = 1;
+  fund.home = 0;
+  fund.protocol = Protocol::kTwoPhaseLocking;
+  for (ItemId a = 0; a < 8; ++a) fund.write_set.push_back(a);
+  engine.SetCompute(fund.id, [&](const auto&) {
+    std::vector<std::pair<ItemId, std::uint64_t>> w;
+    for (ItemId a = 0; a < 8; ++a) w.emplace_back(a, kInitial);
+    return w;
+  });
+  ASSERT_TRUE(engine.AddTransaction(0, fund).ok());
+  // Transfers with mixed protocols.
+  Rng rng(7);
+  const Protocol protos[] = {Protocol::kTwoPhaseLocking,
+                             Protocol::kTimestampOrdering,
+                             Protocol::kPrecedenceAgreement};
+  for (TxnId id = 2; id <= 60; ++id) {
+    const ItemId a = static_cast<ItemId>(rng.UniformInt(8));
+    ItemId b = static_cast<ItemId>(rng.UniformInt(8));
+    while (b == a) b = static_cast<ItemId>(rng.UniformInt(8));
+    TxnSpec t;
+    t.id = id;
+    t.home = static_cast<SiteId>(rng.UniformInt(3));
+    t.protocol = protos[rng.UniformInt(3)];
+    t.write_set = {a, b};
+    t.compute_time = kMillisecond;
+    engine.SetCompute(id, [a, b](const auto& reads) {
+      std::uint64_t va = reads.at(a), vb = reads.at(b);
+      const std::uint64_t amount = 10;
+      std::vector<std::pair<ItemId, std::uint64_t>> w;
+      if (va >= amount) {
+        w.emplace_back(a, va - amount);
+        w.emplace_back(b, vb + amount);
+      } else {
+        w.emplace_back(a, va);
+        w.emplace_back(b, vb);
+      }
+      return w;
+    });
+    ASSERT_TRUE(
+        engine.AddTransaction(500 * kMillisecond +
+                                  rng.UniformInt(2 * kSecond),
+                              t)
+            .ok());
+  }
+  const RunSummary s = engine.Run();
+  EXPECT_EQ(s.committed, 60u);
+  EXPECT_TRUE(engine.CheckSerializability().serializable);
+  std::uint64_t total = 0;
+  for (ItemId a = 0; a < 8; ++a) total += engine.ReadReplicas(a)[0];
+  EXPECT_EQ(total, 8 * kInitial);
+}
+
+TEST(EngineTest, ReplicatedWorkloadKeepsReplicasConsistent) {
+  EngineOptions eo = SmallEngine(37);
+  eo.replication = 3;
+  eo.num_data_sites = 3;
+  auto run = RunWorkload(eo, SmallWorkload(100),
+                         MixedProtocol(1, 1, 1, Rng(5)));
+  EXPECT_EQ(run.summary.committed, 100u);
+  EXPECT_TRUE(run.engine->CheckSerializability().serializable);
+  EXPECT_TRUE(run.engine->ReplicasConsistent());
+}
+
+TEST(EngineTest, LockEverythingAblationStillSerializable) {
+  EngineOptions eo = SmallEngine(41);
+  eo.semi_locks = false;
+  auto run = RunWorkload(eo, SmallWorkload(120),
+                         MixedProtocol(1, 1, 1, Rng(6)));
+  EXPECT_EQ(run.summary.committed, 120u);
+  EXPECT_TRUE(run.engine->CheckSerializability().serializable);
+}
+
+TEST(EngineTest, ReadOnlyWorkloadHasNoAnomalies) {
+  // Reads never conflict: every protocol must run anomaly-free.
+  for (Protocol p :
+       {Protocol::kTwoPhaseLocking, Protocol::kTimestampOrdering,
+        Protocol::kPrecedenceAgreement}) {
+    EngineOptions eo = SmallEngine(61);
+    eo.network.jitter_mean = 2 * kMillisecond;
+    WorkloadOptions wo = SmallWorkload(80);
+    wo.read_fraction = 1.0;
+    wo.arrival_rate_per_sec = 200;
+    auto run = RunWorkload(eo, wo, FixedProtocol(p));
+    EXPECT_EQ(run.summary.committed, 80u) << ProtocolName(p);
+    EXPECT_EQ(run.summary.deadlock_victims, 0u) << ProtocolName(p);
+    EXPECT_EQ(run.summary.reject_restarts, 0u) << ProtocolName(p);
+    EXPECT_EQ(run.summary.backoff_rounds, 0u) << ProtocolName(p);
+    EXPECT_TRUE(run.engine->CheckSerializability().serializable);
+  }
+}
+
+TEST(EngineTest, SingleSiteClusterWorks) {
+  EngineOptions eo = SmallEngine(67);
+  eo.num_user_sites = 1;
+  eo.num_data_sites = 1;
+  eo.num_items = 8;
+  WorkloadOptions wo = SmallWorkload(60);
+  auto run = RunWorkload(eo, wo, MixedProtocol(1, 1, 1, Rng(2)));
+  EXPECT_EQ(run.summary.committed, 60u);
+  EXPECT_TRUE(run.engine->CheckSerializability().serializable);
+}
+
+TEST(EngineTest, ZeroComputeTimeWorks) {
+  EngineOptions eo = SmallEngine(71);
+  WorkloadOptions wo = SmallWorkload(60);
+  wo.compute_time = 0;
+  auto run = RunWorkload(eo, wo, MixedProtocol(1, 1, 1, Rng(3)));
+  EXPECT_EQ(run.summary.committed, 60u);
+  EXPECT_TRUE(run.engine->CheckSerializability().serializable);
+}
+
+TEST(EngineTest, ZipfHotspotStaysSerializable) {
+  EngineOptions eo = SmallEngine(73);
+  eo.network.jitter_mean = 2 * kMillisecond;
+  WorkloadOptions wo = SmallWorkload(120);
+  wo.zipf_theta = 1.2;  // heavy skew: a handful of hot items
+  wo.arrival_rate_per_sec = 80;
+  auto run = RunWorkload(eo, wo, MixedProtocol(1, 1, 1, Rng(4)));
+  EXPECT_EQ(run.summary.committed, 120u);
+  EXPECT_TRUE(run.engine->CheckSerializability().serializable);
+  EXPECT_TRUE(run.engine->ReplicasConsistent());
+}
+
+TEST(EngineTest, TraceReplayReproducesRun) {
+  // Record a workload, replay the parsed trace on a fresh engine with the
+  // same options: results must be bit-identical.
+  EngineOptions eo = SmallEngine(53);
+  WorkloadOptions wo = SmallWorkload(60);
+  WorkloadGenerator gen(wo, eo.num_items, eo.num_user_sites, Rng(3));
+  auto arrivals = gen.Generate();
+  // Mix the protocols deterministically into the specs themselves.
+  for (std::size_t i = 0; i < arrivals.size(); ++i) {
+    arrivals[i].spec.protocol = static_cast<Protocol>(i % kNumProtocols);
+  }
+  Engine direct(eo);
+  ASSERT_TRUE(direct.AddWorkload(arrivals).ok());
+  const RunSummary s1 = direct.Run();
+
+  const std::string text = WorkloadTrace::Serialize(arrivals);
+  auto parsed = WorkloadTrace::Parse(text);
+  ASSERT_TRUE(parsed.ok());
+  Engine replayed(eo);
+  ASSERT_TRUE(replayed.AddWorkload(*parsed).ok());
+  const RunSummary s2 = replayed.Run();
+
+  EXPECT_EQ(s1.makespan, s2.makespan);
+  EXPECT_EQ(s1.total_messages, s2.total_messages);
+  EXPECT_EQ(s1.deadlock_victims, s2.deadlock_victims);
+  EXPECT_TRUE(replayed.CheckSerializability().serializable);
+}
+
+TEST(EngineTest, DebugDumpShowsState) {
+  Engine engine(SmallEngine());
+  TxnSpec t;
+  t.id = 1;
+  t.home = 0;
+  t.write_set = {2};
+  ASSERT_TRUE(engine.AddTransaction(0, t).ok());
+  // Run just past the request arrival so a queue entry exists.
+  engine.simulator().RunUntil(6 * kMillisecond);
+  const std::string dump = engine.DebugDump();
+  EXPECT_NE(dump.find("admitted=1"), std::string::npos);
+  EXPECT_NE(dump.find("txn=1"), std::string::npos);
+  engine.Run();
+}
+
+TEST(EngineTest, DeterministicAcrossIdenticalRuns) {
+  auto run1 = RunWorkload(SmallEngine(43), SmallWorkload(80),
+                          MixedProtocol(1, 1, 1, Rng(1)));
+  auto run2 = RunWorkload(SmallEngine(43), SmallWorkload(80),
+                          MixedProtocol(1, 1, 1, Rng(1)));
+  EXPECT_EQ(run1.summary.makespan, run2.summary.makespan);
+  EXPECT_EQ(run1.summary.total_messages, run2.summary.total_messages);
+  EXPECT_EQ(run1.summary.mean_system_time_ms,
+            run2.summary.mean_system_time_ms);
+}
+
+// Property sweep: many seeds, mixed protocols, moderate contention - every
+// run must commit fully, be conflict serializable and keep replicas
+// consistent (Theorem 2).
+class SerializabilityPropertyTest
+    : public ::testing::TestWithParam<std::uint64_t> {};
+
+TEST_P(SerializabilityPropertyTest, RandomMixAlwaysSerializable) {
+  EngineOptions eo = SmallEngine(GetParam());
+  eo.num_items = 12;  // high contention
+  eo.network.jitter_mean = 2 * kMillisecond;
+  WorkloadOptions wo = SmallWorkload(80);
+  wo.arrival_rate_per_sec = 100;
+  wo.read_fraction = 0.4;
+  auto run = RunWorkload(eo, wo,
+                         MixedProtocol(1, 1, 1, Rng(GetParam() * 31)));
+  EXPECT_EQ(run.summary.committed, 80u);
+  const auto report = run.engine->CheckSerializability();
+  EXPECT_TRUE(report.serializable);
+  EXPECT_TRUE(run.engine->ReplicasConsistent());
+}
+
+INSTANTIATE_TEST_SUITE_P(Seeds, SerializabilityPropertyTest,
+                         ::testing::Range<std::uint64_t>(1, 21));
+
+// Regression for a logging-order bug: under an all-T/O population with
+// semi-locks, commit-time transforms reach different copies in different
+// orders; reads must be implemented (logged) at grant, where their value is
+// captured, or the conflict graph shows false cycles.
+class SemiLockStressTest : public ::testing::TestWithParam<std::uint64_t> {};
+
+TEST_P(SemiLockStressTest, AllToHighContentionSerializable) {
+  EngineOptions eo = SmallEngine(GetParam());
+  eo.num_user_sites = 4;
+  eo.num_data_sites = 4;
+  eo.num_items = 30;
+  eo.network.jitter_mean = 2 * kMillisecond;
+  WorkloadOptions wo = SmallWorkload(200);
+  wo.arrival_rate_per_sec = 120;
+  wo.size_min = 4;
+  wo.size_max = 4;
+  wo.read_fraction = 0.6;
+  wo.compute_time = 10 * kMillisecond;
+  auto run = RunWorkload(eo, wo,
+                         FixedProtocol(Protocol::kTimestampOrdering));
+  EXPECT_EQ(run.summary.committed, 200u);
+  EXPECT_TRUE(run.engine->CheckSerializability().serializable);
+  EXPECT_TRUE(run.engine->ReplicasConsistent());
+}
+
+INSTANTIATE_TEST_SUITE_P(Seeds, SemiLockStressTest,
+                         ::testing::Range<std::uint64_t>(40, 52));
+
+}  // namespace
+}  // namespace unicc

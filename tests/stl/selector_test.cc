@@ -1,0 +1,127 @@
+#include "selector/selector.h"
+
+#include <gtest/gtest.h>
+
+#include <cmath>
+
+#include "sim/simulator.h"
+
+namespace unicc {
+namespace {
+
+TxnSpec MakeSpec(int reads, int writes) {
+  TxnSpec spec;
+  spec.id = 1;
+  for (int i = 0; i < reads; ++i) spec.read_set.push_back(i);
+  for (int i = 0; i < writes; ++i) spec.write_set.push_back(100 + i);
+  return spec;
+}
+
+TEST(MinStlSelectorTest, WarmupRoundRobins) {
+  Simulator sim;
+  ParamEstimator est;
+  SelectorOptions opt;
+  opt.warmup_txns = 9;
+  MinStlSelector sel(&sim, &est, 10, opt);
+  const TxnSpec spec = MakeSpec(2, 2);
+  int counts[3] = {0, 0, 0};
+  for (int i = 0; i < 9; ++i) ++counts[static_cast<int>(sel.Choose(spec))];
+  EXPECT_EQ(counts[0], 3);
+  EXPECT_EQ(counts[1], 3);
+  EXPECT_EQ(counts[2], 3);
+}
+
+TEST(MinStlSelectorTest, PicksMinimumStlAfterWarmup) {
+  Simulator sim;
+  ParamEstimator est;
+  // Cook the estimator: 2PL aborts constantly and holds locks long; T/O
+  // and PA are clean. The selector must avoid 2PL.
+  for (int i = 0; i < 50; ++i) {
+    est.OnGrant(OpType::kRead);
+    est.OnGrant(OpType::kWrite);
+    est.OnRequestSent(Protocol::kTwoPhaseLocking, OpType::kWrite);
+    est.OnRequestSent(Protocol::kTimestampOrdering, OpType::kWrite);
+    est.OnRequestSent(Protocol::kPrecedenceAgreement, OpType::kWrite);
+    est.OnLockHold(Protocol::kTwoPhaseLocking, 500 * kMillisecond, false);
+    est.OnLockHold(Protocol::kTimestampOrdering, 20 * kMillisecond, false);
+    est.OnLockHold(Protocol::kPrecedenceAgreement, 20 * kMillisecond,
+                   false);
+  }
+  for (int i = 0; i < 20; ++i) {
+    TxnResult r;
+    r.protocol = Protocol::kTwoPhaseLocking;
+    r.attempts = 2;
+    r.num_requests = 4;
+    est.OnCommit(r);
+    est.OnRestart(Protocol::kTwoPhaseLocking,
+                  TxnOutcome::kRestartedByDeadlock);
+  }
+  SelectorOptions opt;
+  opt.warmup_txns = 0;
+  MinStlSelector sel(&sim, &est, 10, opt);
+  const Protocol p = sel.Choose(MakeSpec(2, 2));
+  EXPECT_NE(p, Protocol::kTwoPhaseLocking);
+  // Consistency: the chosen protocol has the minimum estimate.
+  const auto stl = sel.EstimateFor(TxnShape{2, 2});
+  const double chosen_value = p == Protocol::kTimestampOrdering
+                                  ? stl.stl_to
+                                  : stl.stl_pa;
+  EXPECT_LE(chosen_value, stl.stl_2pl);
+}
+
+TEST(MinStlSelectorTest, CachesPerClass) {
+  Simulator sim;
+  ParamEstimator est;
+  SelectorOptions opt;
+  opt.warmup_txns = 0;
+  opt.refresh_every = 1000;
+  MinStlSelector sel(&sim, &est, 10, opt);
+  const TxnSpec spec = MakeSpec(1, 1);
+  const Protocol first = sel.Choose(spec);
+  for (int i = 0; i < 50; ++i) {
+    EXPECT_EQ(sel.Choose(spec), first);  // cached decision
+  }
+  EXPECT_EQ(sel.selections(first), 51u);
+}
+
+TEST(MinStlSelectorTest, EstimatesArePositiveAndFinite) {
+  Simulator sim;
+  ParamEstimator est;
+  MinStlSelector sel(&sim, &est, 10);
+  for (int m = 0; m <= 4; ++m) {
+    for (int n = 0; n <= 4; ++n) {
+      if (m + n == 0) continue;
+      const auto stl = sel.EstimateFor(TxnShape{m, n});
+      EXPECT_GE(stl.stl_2pl, 0);
+      EXPECT_GE(stl.stl_to, 0);
+      EXPECT_GE(stl.stl_pa, 0);
+      EXPECT_TRUE(std::isfinite(stl.stl_2pl));
+      EXPECT_TRUE(std::isfinite(stl.stl_to));
+      EXPECT_TRUE(std::isfinite(stl.stl_pa));
+    }
+  }
+}
+
+TEST(MinAvgTimeSelectorTest, PicksSmallestObservedMean) {
+  MinAvgTimeSelector sel(/*warmup_txns=*/0);
+  auto feed = [&](Protocol p, Duration st) {
+    TxnResult r;
+    r.protocol = p;
+    r.arrival = 0;
+    r.commit = st;
+    sel.OnCommit(r);
+  };
+  feed(Protocol::kTwoPhaseLocking, 30 * kMillisecond);
+  feed(Protocol::kTimestampOrdering, 10 * kMillisecond);
+  feed(Protocol::kPrecedenceAgreement, 20 * kMillisecond);
+  TxnSpec spec = MakeSpec(1, 1);
+  EXPECT_EQ(sel.Choose(spec), Protocol::kTimestampOrdering);
+}
+
+TEST(MinAvgTimeSelectorTest, DefaultsTo2plWithoutData) {
+  MinAvgTimeSelector sel(/*warmup_txns=*/0);
+  EXPECT_EQ(sel.Choose(MakeSpec(1, 1)), Protocol::kTwoPhaseLocking);
+}
+
+}  // namespace
+}  // namespace unicc

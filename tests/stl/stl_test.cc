@@ -1,0 +1,234 @@
+#include <gtest/gtest.h>
+
+#include "stl/estimators.h"
+#include "stl/evaluator.h"
+
+namespace unicc {
+namespace {
+
+SystemParams DefaultSys() {
+  SystemParams s;
+  s.lambda_a = 100;
+  s.lambda_r = 0.4;
+  s.lambda_w = 0.6;
+  s.q_r = 0.5;
+  s.k_avg = 4;
+  return s;
+}
+
+TEST(StlEvaluatorTest, ZeroDurationZeroLoss) {
+  StlEvaluator ev(DefaultSys());
+  EXPECT_EQ(ev.Evaluate(5, 0), 0);
+}
+
+TEST(StlEvaluatorTest, SaturatedLossIsLambdaAU) {
+  StlEvaluator ev(DefaultSys());
+  EXPECT_DOUBLE_EQ(ev.Evaluate(100, 0.5), 100 * 0.5);
+  EXPECT_DOUBLE_EQ(ev.Evaluate(150, 0.5), 100 * 0.5);
+}
+
+TEST(StlEvaluatorTest, BoundedByLambdaAU) {
+  StlEvaluator ev(DefaultSys());
+  for (double l : {0.5, 2.0, 10.0, 50.0}) {
+    for (double u : {0.01, 0.1, 1.0}) {
+      const double v = ev.Evaluate(l, u);
+      EXPECT_LE(v, 100 * u * 1.0001) << "l=" << l << " u=" << u;
+      EXPECT_GE(v, l * u * 0.9999) << "l=" << l << " u=" << u;
+    }
+  }
+}
+
+TEST(StlEvaluatorTest, MonotoneInInitialLoss) {
+  StlEvaluator ev(DefaultSys());
+  double prev = 0;
+  for (double l : {1.0, 5.0, 20.0, 60.0, 90.0}) {
+    const double v = ev.Evaluate(l, 0.2);
+    EXPECT_GT(v, prev);
+    prev = v;
+  }
+}
+
+TEST(StlEvaluatorTest, MonotoneInDuration) {
+  StlEvaluator ev(DefaultSys());
+  double prev = 0;
+  for (double u : {0.05, 0.1, 0.2, 0.5, 1.0}) {
+    const double v = ev.Evaluate(10, u);
+    EXPECT_GT(v, prev);
+    prev = v;
+  }
+}
+
+TEST(StlEvaluatorTest, NoEscalationWhenLambdaNewZero) {
+  SystemParams s = DefaultSys();
+  s.lambda_r = 0;
+  s.lambda_w = 0;
+  StlEvaluator ev(s);
+  EXPECT_DOUBLE_EQ(ev.Evaluate(7, 0.3), 7 * 0.3);
+}
+
+TEST(StlEvaluatorTest, LambdaBlockEdgeCases) {
+  StlEvaluator ev(DefaultSys());
+  EXPECT_DOUBLE_EQ(ev.LambdaBlock(0), 0);    // no loss, nothing blocks
+  EXPECT_DOUBLE_EQ(ev.LambdaBlock(100), 0);  // no free throughput left
+  EXPECT_GT(ev.LambdaBlock(50), 0);
+}
+
+TEST(StlEvaluatorTest, LambdaNewFormula) {
+  StlEvaluator ev(DefaultSys());
+  // λ_w + (1 − Q_r)·λ_r = 0.6 + 0.5*0.4.
+  EXPECT_DOUBLE_EQ(ev.LambdaNew(), 0.6 + 0.5 * 0.4);
+}
+
+TEST(StlEvaluatorTest, GridRefinementConverges) {
+  StlEvaluator coarse(DefaultSys(), 24);
+  StlEvaluator fine(DefaultSys(), 96);
+  const double a = coarse.Evaluate(10, 0.2);
+  const double b = fine.Evaluate(10, 0.2);
+  EXPECT_NEAR(a, b, std::max(a, b) * 0.08);
+}
+
+TEST(StlEvaluatorTest, SingleRequestTransactionsNeverEscalate) {
+  // K = 1: a granted request's transaction has no other requests to block.
+  SystemParams s = DefaultSys();
+  s.k_avg = 1;
+  StlEvaluator ev(s);
+  EXPECT_NEAR(ev.Evaluate(10, 0.3), 10 * 0.3, 1e-9);
+}
+
+TEST(EstimatorFormulaTest, LambdaT) {
+  const SystemParams s = DefaultSys();
+  // m=2 reads, n=3 writes: 2·λw + 3·(λw + λr).
+  EXPECT_DOUBLE_EQ(LambdaT(s, {2, 3}), 2 * 0.6 + 3 * (0.6 + 0.4));
+}
+
+TEST(EstimatorFormulaTest, Stl2plNoAbortsEqualsPlainStl) {
+  StlEvaluator ev(DefaultSys());
+  ProtocolParams p;
+  p.u_lock = 0.05;
+  p.p_abort = 0;
+  const TxnShape shape{2, 2};
+  EXPECT_DOUBLE_EQ(Stl2pl(ev, shape, p),
+                   ev.Evaluate(LambdaT(ev.params(), shape), 0.05));
+}
+
+TEST(EstimatorFormulaTest, Stl2plIncreasesWithAbortProbability) {
+  StlEvaluator ev(DefaultSys());
+  ProtocolParams p;
+  p.u_lock = 0.05;
+  p.u_lock_aborted = 0.03;
+  const TxnShape shape{2, 2};
+  double prev = 0;
+  for (double pa : {0.0, 0.1, 0.3, 0.6}) {
+    p.p_abort = pa;
+    const double v = Stl2pl(ev, shape, p);
+    EXPECT_GE(v, prev);
+    prev = v;
+  }
+}
+
+TEST(EstimatorFormulaTest, StlToIncreasesWithRejectProbability) {
+  StlEvaluator ev(DefaultSys());
+  ProtocolParams p;
+  p.u_lock = 0.05;
+  p.u_lock_aborted = 0.03;
+  const TxnShape shape{2, 2};
+  double prev = 0;
+  for (double pr : {0.0, 0.1, 0.3, 0.5}) {
+    p.p_reject_read = pr;
+    p.p_reject_write = pr;
+    const double v = StlTo(ev, shape, p);
+    EXPECT_GT(v, prev * 0.999);
+    prev = v;
+  }
+}
+
+TEST(EstimatorFormulaTest, StlPaAtMostOneBackoff) {
+  StlEvaluator ev(DefaultSys());
+  ProtocolParams p;
+  p.u_lock = 0.05;
+  p.u_lock_aborted = 0.05;
+  const TxnShape shape{2, 2};
+  // Even with certain back-off, PA pays at most one extra STL' term.
+  p.p_reject_read = 0.95;
+  p.p_reject_write = 0.95;
+  const double lt = LambdaT(ev.params(), shape);
+  const double one = ev.Evaluate(lt, 0.05);
+  const double v = StlPa(ev, shape, p);
+  EXPECT_LE(v, 3.0 * one + 1e-9);
+}
+
+TEST(EstimatorFormulaTest, StlToVsPaWithSameProbabilities) {
+  // With identical negative-response probabilities, T/O (geometric retry)
+  // must cost at least as much as PA (single back-off).
+  StlEvaluator ev(DefaultSys());
+  ProtocolParams p;
+  p.u_lock = 0.05;
+  p.u_lock_aborted = 0.05;
+  p.p_reject_read = 0.4;
+  p.p_reject_write = 0.4;
+  EXPECT_GE(StlTo(ev, {3, 3}, p), StlPa(ev, {3, 3}, p));
+}
+
+TEST(ParamEstimatorTest, SnapshotComputesRatesAndMix) {
+  ParamEstimator est;
+  for (int i = 0; i < 60; ++i) est.OnGrant(OpType::kRead);
+  for (int i = 0; i < 40; ++i) est.OnGrant(OpType::kWrite);
+  for (int i = 0; i < 30; ++i) {
+    est.OnRequestSent(Protocol::kTwoPhaseLocking, OpType::kRead);
+  }
+  for (int i = 0; i < 10; ++i) {
+    est.OnRequestSent(Protocol::kTwoPhaseLocking, OpType::kWrite);
+  }
+  TxnResult r;
+  r.protocol = Protocol::kTwoPhaseLocking;
+  r.num_requests = 5;
+  r.attempts = 1;
+  est.OnCommit(r);
+  const SystemParams s = est.Snapshot(2 * kSecond, 10);
+  EXPECT_DOUBLE_EQ(s.lambda_a, 50.0);      // 100 grants / 2s
+  EXPECT_DOUBLE_EQ(s.lambda_r, 3.0);       // 60/2s/10 queues
+  EXPECT_DOUBLE_EQ(s.lambda_w, 2.0);
+  EXPECT_DOUBLE_EQ(s.q_r, 0.75);
+  EXPECT_DOUBLE_EQ(s.k_avg, 5.0);
+}
+
+TEST(ParamEstimatorTest, RejectProbabilities) {
+  ParamEstimator est;
+  for (int i = 0; i < 100; ++i) {
+    est.OnRequestSent(Protocol::kTimestampOrdering, OpType::kRead);
+  }
+  for (int i = 0; i < 20; ++i) {
+    est.OnReject(OpType::kRead, Protocol::kTimestampOrdering);
+  }
+  const ProtocolParams p = est.For(Protocol::kTimestampOrdering);
+  EXPECT_DOUBLE_EQ(p.p_reject_read, 0.2);
+  EXPECT_DOUBLE_EQ(p.p_reject_write, 0.0);
+}
+
+TEST(ParamEstimatorTest, LockHoldMeans) {
+  ParamEstimator est;
+  est.OnLockHold(Protocol::kPrecedenceAgreement, 100 * kMillisecond, false);
+  est.OnLockHold(Protocol::kPrecedenceAgreement, 200 * kMillisecond, false);
+  est.OnLockHold(Protocol::kPrecedenceAgreement, 50 * kMillisecond, true);
+  const ProtocolParams p = est.For(Protocol::kPrecedenceAgreement);
+  EXPECT_NEAR(p.u_lock, 0.15, 1e-9);
+  EXPECT_NEAR(p.u_lock_aborted, 0.05, 1e-9);
+}
+
+TEST(ParamEstimatorTest, TwoPlAbortProbability) {
+  ParamEstimator est;
+  for (int i = 0; i < 9; ++i) {
+    TxnResult r;
+    r.protocol = Protocol::kTwoPhaseLocking;
+    r.attempts = 1;
+    r.num_requests = 2;
+    est.OnCommit(r);
+  }
+  est.OnRestart(Protocol::kTwoPhaseLocking,
+                TxnOutcome::kRestartedByDeadlock);
+  const ProtocolParams p = est.For(Protocol::kTwoPhaseLocking);
+  EXPECT_NEAR(p.p_abort, 0.1, 1e-9);
+}
+
+}  // namespace
+}  // namespace unicc

@@ -1,0 +1,272 @@
+// unicc_sim: command-line driver for arbitrary engine/workload
+// configurations. Runs one simulation to completion and prints a summary
+// plus optional queue/metric detail.
+//
+//   unicc_sim --protocol=pa --lambda=80 --txns=500 --items=60 --seed=7
+//   unicc_sim --policy=minstl --lambda=120 --read-fraction=0.3 --verbose
+//
+// Run with --help for the full flag list.
+#include <cstdio>
+#include <cstdlib>
+#include <cstring>
+#include <memory>
+#include <string>
+
+#include "engine/engine.h"
+#include "selector/selector.h"
+#include "stl/estimators.h"
+#include "workload/generator.h"
+
+namespace {
+
+using namespace unicc;
+
+struct Flags {
+  std::string policy = "fixed";  // fixed | mix | minstl | minavg
+  std::string protocol = "2pl";  // for --policy=fixed
+  double lambda = 40;
+  std::uint64_t txns = 500;
+  ItemId items = 60;
+  std::uint32_t user_sites = 4;
+  std::uint32_t data_sites = 4;
+  std::uint32_t replication = 1;
+  std::uint32_t size_min = 4;
+  std::uint32_t size_max = 4;
+  double read_fraction = 0.5;
+  double zipf = 0.0;
+  double delay_ms = 5;
+  double jitter_ms = 2;
+  double compute_ms = 5;
+  double skew_ms = 50;
+  std::string detector = "central";  // central | probe | none
+  bool semi_locks = true;
+  bool unified = true;
+  std::uint64_t seed = 42;
+  bool verbose = false;
+};
+
+void PrintHelp() {
+  std::puts(
+      "unicc_sim: run one unified-concurrency-control simulation\n"
+      "  --policy=fixed|mix|minstl|minavg   protocol policy (fixed)\n"
+      "  --protocol=2pl|to|pa               protocol for --policy=fixed\n"
+      "  --lambda=<tx/s>     arrival rate (40)\n"
+      "  --txns=<n>          transactions (500)\n"
+      "  --items=<n>         logical items (60)\n"
+      "  --user-sites=<n>    user sites (4)\n"
+      "  --data-sites=<n>    data sites (4)\n"
+      "  --replication=<n>   copies per item (1)\n"
+      "  --size-min/max=<n>  items per transaction (4/4)\n"
+      "  --read-fraction=<f> fraction of reads (0.5)\n"
+      "  --zipf=<theta>      item popularity skew (0)\n"
+      "  --delay-ms=<f>      one-way network delay (5)\n"
+      "  --jitter-ms=<f>     exponential jitter mean (2)\n"
+      "  --compute-ms=<f>    local compute phase (5)\n"
+      "  --skew-ms=<f>       max site clock skew (50)\n"
+      "  --detector=central|probe|none      deadlock detection (central)\n"
+      "  --no-semi-locks     lock-everything ablation\n"
+      "  --pure              pure per-protocol backend (needs fixed policy)\n"
+      "  --seed=<n>          RNG seed (42)\n"
+      "  --verbose           print per-protocol metrics and STL estimates");
+}
+
+bool ParseFlag(const char* arg, const char* name, std::string* out) {
+  const std::size_t len = std::strlen(name);
+  if (std::strncmp(arg, name, len) == 0 && arg[len] == '=') {
+    *out = arg + len + 1;
+    return true;
+  }
+  return false;
+}
+
+Protocol ParseProtocol(const std::string& s) {
+  if (s == "2pl") return Protocol::kTwoPhaseLocking;
+  if (s == "to") return Protocol::kTimestampOrdering;
+  if (s == "pa") return Protocol::kPrecedenceAgreement;
+  std::fprintf(stderr, "unknown protocol '%s'\n", s.c_str());
+  std::exit(2);
+}
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  Flags flags;
+  bool pure = false;
+  for (int i = 1; i < argc; ++i) {
+    std::string v;
+    const char* a = argv[i];
+    if (std::strcmp(a, "--help") == 0) {
+      PrintHelp();
+      return 0;
+    } else if (std::strcmp(a, "--verbose") == 0) {
+      flags.verbose = true;
+    } else if (std::strcmp(a, "--no-semi-locks") == 0) {
+      flags.semi_locks = false;
+    } else if (std::strcmp(a, "--pure") == 0) {
+      pure = true;
+    } else if (ParseFlag(a, "--policy", &flags.policy) ||
+               ParseFlag(a, "--protocol", &flags.protocol) ||
+               ParseFlag(a, "--detector", &flags.detector)) {
+    } else if (ParseFlag(a, "--lambda", &v)) {
+      flags.lambda = std::atof(v.c_str());
+    } else if (ParseFlag(a, "--txns", &v)) {
+      flags.txns = std::strtoull(v.c_str(), nullptr, 10);
+    } else if (ParseFlag(a, "--items", &v)) {
+      flags.items = static_cast<ItemId>(std::atoi(v.c_str()));
+    } else if (ParseFlag(a, "--user-sites", &v)) {
+      flags.user_sites = static_cast<std::uint32_t>(std::atoi(v.c_str()));
+    } else if (ParseFlag(a, "--data-sites", &v)) {
+      flags.data_sites = static_cast<std::uint32_t>(std::atoi(v.c_str()));
+    } else if (ParseFlag(a, "--replication", &v)) {
+      flags.replication = static_cast<std::uint32_t>(std::atoi(v.c_str()));
+    } else if (ParseFlag(a, "--size-min", &v)) {
+      flags.size_min = static_cast<std::uint32_t>(std::atoi(v.c_str()));
+    } else if (ParseFlag(a, "--size-max", &v)) {
+      flags.size_max = static_cast<std::uint32_t>(std::atoi(v.c_str()));
+    } else if (ParseFlag(a, "--read-fraction", &v)) {
+      flags.read_fraction = std::atof(v.c_str());
+    } else if (ParseFlag(a, "--zipf", &v)) {
+      flags.zipf = std::atof(v.c_str());
+    } else if (ParseFlag(a, "--delay-ms", &v)) {
+      flags.delay_ms = std::atof(v.c_str());
+    } else if (ParseFlag(a, "--jitter-ms", &v)) {
+      flags.jitter_ms = std::atof(v.c_str());
+    } else if (ParseFlag(a, "--compute-ms", &v)) {
+      flags.compute_ms = std::atof(v.c_str());
+    } else if (ParseFlag(a, "--skew-ms", &v)) {
+      flags.skew_ms = std::atof(v.c_str());
+    } else if (ParseFlag(a, "--seed", &v)) {
+      flags.seed = std::strtoull(v.c_str(), nullptr, 10);
+    } else {
+      std::fprintf(stderr, "unknown flag '%s' (try --help)\n", a);
+      return 2;
+    }
+  }
+
+  EngineOptions eo;
+  eo.num_user_sites = flags.user_sites;
+  eo.num_data_sites = flags.data_sites;
+  eo.num_items = flags.items;
+  eo.replication = flags.replication;
+  eo.network.base_delay = static_cast<Duration>(flags.delay_ms * 1000);
+  eo.network.jitter_mean = static_cast<Duration>(flags.jitter_ms * 1000);
+  eo.max_clock_skew = static_cast<Duration>(flags.skew_ms * 1000);
+  eo.semi_locks = flags.semi_locks;
+  eo.seed = flags.seed;
+  eo.backend = pure ? BackendKind::kPure : BackendKind::kUnified;
+  eo.pure_protocol = ParseProtocol(flags.protocol);
+  if (flags.detector == "none") {
+    eo.detector = DetectorKind::kNone;
+  } else if (flags.detector == "probe") {
+    eo.detector = DetectorKind::kProbe;
+  } else {
+    eo.detector = DetectorKind::kCentral;
+  }
+  if (auto s = eo.Validate(); !s.ok()) {
+    std::fprintf(stderr, "invalid configuration: %s\n",
+                 s.ToString().c_str());
+    return 2;
+  }
+
+  ParamEstimator estimator;
+  auto minavg = std::make_unique<MinAvgTimeSelector>();
+  EngineCallbacks cb;
+  cb.on_commit = [&estimator, naive = minavg.get()](const TxnResult& r) {
+    estimator.OnCommit(r);
+    naive->OnCommit(r);
+  };
+  cb.on_request_sent = [&](Protocol p, OpType op) {
+    estimator.OnRequestSent(p, op);
+  };
+  cb.on_lock_hold = [&](Protocol p, Duration d, bool a) {
+    estimator.OnLockHold(p, d, a);
+  };
+  cb.on_restart = [&](Protocol p, TxnOutcome w) {
+    estimator.OnRestart(p, w);
+  };
+  cb.on_grant = [&](const CopyId&, OpType op, Protocol) {
+    estimator.OnGrant(op);
+  };
+  cb.on_reject = [&](OpType op, Protocol p) { estimator.OnReject(op, p); };
+  cb.on_backoff_offer = [&](OpType op) { estimator.OnBackoffOffer(op); };
+
+  Engine engine(eo, cb);
+  std::unique_ptr<MinStlSelector> minstl;
+  if (flags.policy == "fixed") {
+    engine.SetProtocolPolicy(FixedProtocol(ParseProtocol(flags.protocol)));
+  } else if (flags.policy == "mix") {
+    engine.SetProtocolPolicy(MixedProtocol(1, 1, 1, Rng(flags.seed ^ 77)));
+  } else if (flags.policy == "minstl") {
+    minstl = std::make_unique<MinStlSelector>(&engine.simulator(),
+                                              &estimator, flags.items);
+    engine.SetProtocolPolicy(minstl->AsPolicy());
+  } else if (flags.policy == "minavg") {
+    engine.SetProtocolPolicy(minavg->AsPolicy());
+  } else {
+    std::fprintf(stderr, "unknown policy '%s'\n", flags.policy.c_str());
+    return 2;
+  }
+
+  WorkloadOptions wo;
+  wo.arrival_rate_per_sec = flags.lambda;
+  wo.num_txns = flags.txns;
+  wo.size_min = flags.size_min;
+  wo.size_max = flags.size_max;
+  wo.read_fraction = flags.read_fraction;
+  wo.zipf_theta = flags.zipf;
+  wo.compute_time = static_cast<Duration>(flags.compute_ms * 1000);
+  WorkloadGenerator gen(wo, flags.items, flags.user_sites,
+                        Rng(flags.seed ^ 0x5bd1e995));
+  if (auto s = engine.AddWorkload(gen.Generate()); !s.ok()) {
+    std::fprintf(stderr, "workload rejected: %s\n", s.ToString().c_str());
+    return 2;
+  }
+
+  const RunSummary summary = engine.Run();
+  const auto report = engine.CheckSerializability();
+
+  std::printf("committed          : %llu/%llu\n",
+              static_cast<unsigned long long>(summary.committed),
+              static_cast<unsigned long long>(summary.admitted));
+  std::printf("mean system time   : %.2f ms (p95 %.2f, max %.2f)\n",
+              engine.metrics().MeanSystemTimeMs(),
+              engine.metrics().SystemTime().PercentileMs(95),
+              engine.metrics().SystemTime().MaxMs());
+  std::printf("throughput         : %.1f tx/s over %.2f s simulated\n",
+              engine.metrics().ThroughputPerSec(summary.makespan),
+              static_cast<double>(summary.makespan) / kSecond);
+  std::printf("deadlock victims   : %llu\n",
+              static_cast<unsigned long long>(summary.deadlock_victims));
+  std::printf("T/O reject restarts: %llu\n",
+              static_cast<unsigned long long>(summary.reject_restarts));
+  std::printf("PA back-off rounds : %llu\n",
+              static_cast<unsigned long long>(summary.backoff_rounds));
+  std::printf("messages           : %llu total, %llu remote\n",
+              static_cast<unsigned long long>(summary.total_messages),
+              static_cast<unsigned long long>(summary.remote_messages));
+  std::printf("serializable       : %s\n",
+              report.serializable ? "yes" : "NO");
+  std::printf("replicas consistent: %s\n",
+              engine.ReplicasConsistent() ? "yes" : "NO");
+
+  if (flags.verbose) {
+    std::printf("\nper-protocol:\n");
+    for (Protocol p :
+         {Protocol::kTwoPhaseLocking, Protocol::kTimestampOrdering,
+          Protocol::kPrecedenceAgreement}) {
+      const auto& ps = engine.metrics().ForProtocol(p);
+      std::printf("  %-4s committed %llu, mean S %.2f ms, restarts %llu\n",
+                  std::string(ProtocolName(p)).c_str(),
+                  static_cast<unsigned long long>(ps.committed),
+                  ps.system_time.MeanMs(),
+                  static_cast<unsigned long long>(ps.restarts));
+    }
+    const SystemParams sys =
+        estimator.Snapshot(engine.simulator().Now(), flags.items);
+    std::printf(
+        "\nmeasured system parameters: lambda_A=%.1f/s lambda_r=%.3f "
+        "lambda_w=%.3f Q_r=%.2f K=%.1f\n",
+        sys.lambda_a, sys.lambda_r, sys.lambda_w, sys.q_r, sys.k_avg);
+  }
+  return report.serializable ? 0 : 1;
+}
