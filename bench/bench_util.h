@@ -33,6 +33,7 @@ struct BenchConfig {
   BackendKind backend = BackendKind::kUnified;
   Protocol pure_protocol = Protocol::kTwoPhaseLocking;
   bool semi_locks = true;
+  Timestamp backoff_interval = 64;  // PA back-off interval INT
   std::uint64_t seed = 1234;
 };
 
@@ -68,6 +69,7 @@ inline RunStats RunOne(const BenchConfig& cfg, PolicyKind policy,
   eo.backend = cfg.backend;
   eo.pure_protocol = fixed;
   eo.semi_locks = cfg.semi_locks;
+  eo.default_backoff_interval = cfg.backoff_interval;
   eo.seed = cfg.seed;
   if (cfg.backend == BackendKind::kPure &&
       fixed == Protocol::kTimestampOrdering) {

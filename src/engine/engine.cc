@@ -275,6 +275,9 @@ Status Engine::AddWorkload(
 }
 
 RunSummary Engine::Run() {
+  // With nothing pending the stop flag can never flip on a commit, and the
+  // deadlock detector would re-schedule its tick forever.
+  if (committed_count_ == admitted_) stopped_ = true;
   sim_.RunToCompletion();
   UNICC_CHECK_MSG(committed_count_ == admitted_,
                   "run drained with uncommitted transactions");

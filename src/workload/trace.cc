@@ -48,9 +48,15 @@ std::string WorkloadTrace::Serialize(
                   static_cast<unsigned long long>(a.spec.backoff_interval));
     out += head;
     out += " r";
-    for (ItemId item : a.spec.read_set) out += " " + std::to_string(item);
+    for (ItemId item : a.spec.read_set) {
+      out += ' ';
+      out += std::to_string(item);
+    }
     out += " w";
-    for (ItemId item : a.spec.write_set) out += " " + std::to_string(item);
+    for (ItemId item : a.spec.write_set) {
+      out += ' ';
+      out += std::to_string(item);
+    }
     out += "\n";
   }
   return out;

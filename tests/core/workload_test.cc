@@ -43,7 +43,9 @@ TEST(WorkloadGeneratorTest, GeneratesRequestedCount) {
   // Ids are 1..n, arrival times strictly ordered (exponential gaps > 0).
   for (std::size_t i = 0; i < arrivals.size(); ++i) {
     EXPECT_EQ(arrivals[i].spec.id, i + 1);
-    if (i > 0) EXPECT_GE(arrivals[i].when, arrivals[i - 1].when);
+    if (i > 0) {
+      EXPECT_GE(arrivals[i].when, arrivals[i - 1].when);
+    }
   }
 }
 

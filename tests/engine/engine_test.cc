@@ -30,6 +30,14 @@ TEST(EngineTest, RejectsInvalidTransactions) {
   EXPECT_FALSE(engine.AddTransaction(0, bad_home).ok());
 }
 
+TEST(EngineTest, EmptyWorkloadTerminates) {
+  // The periodic deadlock-detector tick must not keep an idle run alive.
+  Engine engine(SmallEngine());
+  const RunSummary s = engine.Run();
+  EXPECT_EQ(s.admitted, 0u);
+  EXPECT_EQ(s.committed, 0u);
+}
+
 TEST(EngineTest, SingleTransactionCommits) {
   Engine engine(SmallEngine());
   TxnSpec t;

@@ -1,5 +1,7 @@
 #include <gtest/gtest.h>
 
+#include <algorithm>
+
 #include "stl/estimators.h"
 #include "stl/evaluator.h"
 

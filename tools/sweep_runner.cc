@@ -1,0 +1,387 @@
+// sweep_runner: multi-threaded parameter-sweep harness for the paper's
+// experiment grids E1-E9. Each experiment expands to a grid of cells
+// (lambda, transaction size, back-off interval, protocol policy, ...);
+// cells are sharded across a worker pool, each worker runs one full
+// Engine simulation per cell, and results land in machine-readable
+// BENCH_e*.json files so the performance trajectory of the repo can be
+// tracked across PRs.
+//
+//   sweep_runner                         # run every experiment
+//   sweep_runner --exp=e1,e5             # just E1 and E5
+//   sweep_runner --threads=8 --txns=200  # faster, coarser sweep
+//   sweep_runner --out-dir=results/      # where BENCH_e*.json go
+#include <algorithm>
+#include <atomic>
+#include <cstdio>
+#include <cstdlib>
+#include <cstring>
+#include <filesystem>
+#include <string>
+#include <thread>
+#include <vector>
+
+#include "bench_util.h"
+
+namespace {
+
+using namespace unicc;
+using namespace unicc::bench;
+
+// ---------------------------------------------------------------------------
+// Grid definition
+// ---------------------------------------------------------------------------
+
+// One named parameter of a cell, kept as a string/double pair so the JSON
+// writer can emit numbers as numbers and labels as strings.
+struct Param {
+  std::string key;
+  std::string str_value;  // used when is_number is false
+  double num_value = 0;
+  bool is_number = false;
+};
+
+Param NumParam(std::string key, double v) {
+  Param p;
+  p.key = std::move(key);
+  p.num_value = v;
+  p.is_number = true;
+  return p;
+}
+
+Param StrParam(std::string key, std::string v) {
+  Param p;
+  p.key = std::move(key);
+  p.str_value = std::move(v);
+  return p;
+}
+
+// One point of an experiment grid: the full engine/workload configuration
+// plus the parameter values that identify the point in the report.
+struct Cell {
+  std::vector<Param> params;
+  BenchConfig cfg;
+  PolicyKind policy = PolicyKind::kFixed;
+  Protocol fixed = Protocol::kTwoPhaseLocking;
+};
+
+struct Experiment {
+  std::string id;           // "e1", ... -> BENCH_e1.json
+  std::string description;  // one line, copied into the JSON header
+  std::vector<Cell> cells;
+};
+
+const char* ShortProtocolName(Protocol p) {
+  switch (p) {
+    case Protocol::kTwoPhaseLocking:
+      return "2pl";
+    case Protocol::kTimestampOrdering:
+      return "to";
+    case Protocol::kPrecedenceAgreement:
+      return "pa";
+  }
+  return "?";
+}
+
+// Appends one cell per protocol for a pure-backend baseline sweep.
+void AddPureProtocolCells(Experiment* exp, const BenchConfig& base,
+                          std::vector<Param> params) {
+  for (Protocol p :
+       {Protocol::kTwoPhaseLocking, Protocol::kTimestampOrdering,
+        Protocol::kPrecedenceAgreement}) {
+    Cell cell;
+    cell.params = params;
+    cell.params.push_back(StrParam("protocol", ShortProtocolName(p)));
+    cell.cfg = base;
+    cell.cfg.backend = BackendKind::kPure;
+    cell.policy = PolicyKind::kFixed;
+    cell.fixed = p;
+    exp->cells.push_back(std::move(cell));
+  }
+}
+
+// E1: mean system time / throughput vs arrival rate lambda, per protocol.
+Experiment MakeE1(std::uint64_t txns) {
+  Experiment exp;
+  exp.id = "e1";
+  exp.description = "system time and throughput vs arrival rate lambda";
+  for (double lambda : {10.0, 25.0, 50.0, 100.0, 150.0, 200.0, 250.0}) {
+    BenchConfig cfg;
+    cfg.lambda = lambda;
+    cfg.num_txns = txns;
+    AddPureProtocolCells(&exp, cfg, {NumParam("lambda", lambda)});
+  }
+  return exp;
+}
+
+// E2: transaction size sweep, per protocol.
+Experiment MakeE2(std::uint64_t txns) {
+  Experiment exp;
+  exp.id = "e2";
+  exp.description = "system time vs transaction size st";
+  for (std::uint32_t st : {2u, 4u, 6u, 8u, 12u, 16u}) {
+    BenchConfig cfg;
+    cfg.lambda = 40;
+    cfg.size_min = st;
+    cfg.size_max = st;
+    cfg.num_txns = txns;
+    AddPureProtocolCells(&exp, cfg, {NumParam("txn_size", st)});
+  }
+  return exp;
+}
+
+// E5: dynamic min-STL selection vs the static protocol choices.
+Experiment MakeE5(std::uint64_t txns) {
+  Experiment exp;
+  exp.id = "e5";
+  exp.description = "dynamic min-STL selection vs static protocols";
+  struct PolicyPoint {
+    const char* label;
+    PolicyKind kind;
+    Protocol fixed;
+  };
+  const PolicyPoint policies[] = {
+      {"static-2pl", PolicyKind::kFixed, Protocol::kTwoPhaseLocking},
+      {"static-to", PolicyKind::kFixed, Protocol::kTimestampOrdering},
+      {"static-pa", PolicyKind::kFixed, Protocol::kPrecedenceAgreement},
+      {"min-stl", PolicyKind::kMinStl, Protocol::kTwoPhaseLocking},
+      {"min-avg-time", PolicyKind::kMinAvgTime, Protocol::kTwoPhaseLocking},
+  };
+  for (double lambda : {10.0, 30.0, 75.0, 150.0, 250.0}) {
+    for (const PolicyPoint& p : policies) {
+      Cell cell;
+      cell.params = {NumParam("lambda", lambda), StrParam("policy", p.label)};
+      cell.cfg.lambda = lambda;
+      cell.cfg.num_txns = txns;
+      cell.cfg.backend = BackendKind::kUnified;
+      cell.policy = p.kind;
+      cell.fixed = p.fixed;
+      exp.cells.push_back(std::move(cell));
+    }
+  }
+  return exp;
+}
+
+// E9: PA back-off interval INT sweep.
+Experiment MakeE9(std::uint64_t txns) {
+  Experiment exp;
+  exp.id = "e9";
+  exp.description = "PA back-off interval INT sweep";
+  for (Timestamp interval : {1u, 4u, 16u, 64u, 256u, 1024u}) {
+    Cell cell;
+    cell.params = {NumParam("backoff_interval",
+                            static_cast<double>(interval))};
+    cell.cfg.lambda = 120;
+    cell.cfg.num_txns = txns;
+    cell.cfg.backend = BackendKind::kPure;
+    cell.cfg.backoff_interval = interval;
+    cell.policy = PolicyKind::kFixed;
+    cell.fixed = Protocol::kPrecedenceAgreement;
+    cell.params.push_back(StrParam("protocol", "pa"));
+    exp.cells.push_back(std::move(cell));
+  }
+  return exp;
+}
+
+// ---------------------------------------------------------------------------
+// Worker pool
+// ---------------------------------------------------------------------------
+
+// Runs every cell of `cells` across `num_threads` workers. Cells are
+// claimed from a shared atomic cursor, so long cells do not stall short
+// ones behind a static partition.
+std::vector<RunStats> RunCells(const std::vector<Cell>& cells,
+                               unsigned num_threads) {
+  std::vector<RunStats> results(cells.size());
+  std::atomic<std::size_t> next{0};
+
+  auto worker = [&] {
+    for (;;) {
+      const std::size_t i = next.fetch_add(1, std::memory_order_relaxed);
+      if (i >= cells.size()) return;
+      results[i] = RunOne(cells[i].cfg, cells[i].policy, cells[i].fixed);
+    }
+  };
+
+  std::vector<std::thread> pool;
+  pool.reserve(num_threads);
+  for (unsigned t = 0; t < num_threads; ++t) pool.emplace_back(worker);
+  for (std::thread& t : pool) t.join();
+  return results;
+}
+
+// ---------------------------------------------------------------------------
+// JSON output
+// ---------------------------------------------------------------------------
+
+void WriteJsonString(std::FILE* f, const std::string& s) {
+  std::fputc('"', f);
+  for (char c : s) {
+    if (c == '"' || c == '\\') std::fputc('\\', f);
+    std::fputc(c, f);
+  }
+  std::fputc('"', f);
+}
+
+// Writes one experiment's results as BENCH_<id>.json. Schema per cell:
+// the grid parameters plus throughput [tx/s], abort_rate (aborts per
+// admitted attempt), mean/p95 response time [ms] and raw counters.
+bool WriteReport(const Experiment& exp, const std::vector<RunStats>& results,
+                 const std::string& out_dir, unsigned num_threads,
+                 std::uint64_t txns) {
+  const std::string path = out_dir + "/BENCH_" + exp.id + ".json";
+  std::FILE* f = std::fopen(path.c_str(), "w");
+  if (f == nullptr) {
+    std::fprintf(stderr, "sweep_runner: cannot open %s\n", path.c_str());
+    return false;
+  }
+  std::fprintf(f, "{\n  \"experiment\": ");
+  WriteJsonString(f, exp.id);
+  std::fprintf(f, ",\n  \"description\": ");
+  WriteJsonString(f, exp.description);
+  std::fprintf(f,
+               ",\n  \"generated_by\": \"sweep_runner\","
+               "\n  \"threads\": %u,\n  \"txns_per_cell\": %llu,"
+               "\n  \"cells\": [\n",
+               num_threads, static_cast<unsigned long long>(txns));
+  for (std::size_t i = 0; i < exp.cells.size(); ++i) {
+    const Cell& cell = exp.cells[i];
+    const RunStats& s = results[i];
+    const double aborts = static_cast<double>(s.deadlock_victims) +
+                          static_cast<double>(s.reject_restarts);
+    const double attempts = static_cast<double>(s.committed) + aborts;
+    std::fprintf(f, "    {\n      \"params\": {");
+    for (std::size_t p = 0; p < cell.params.size(); ++p) {
+      if (p != 0) std::fprintf(f, ", ");
+      WriteJsonString(f, cell.params[p].key);
+      std::fprintf(f, ": ");
+      if (cell.params[p].is_number) {
+        std::fprintf(f, "%g", cell.params[p].num_value);
+      } else {
+        WriteJsonString(f, cell.params[p].str_value);
+      }
+    }
+    std::fprintf(f, "},\n");
+    std::fprintf(f, "      \"throughput_tx_per_sec\": %.4f,\n", s.throughput);
+    std::fprintf(f, "      \"abort_rate\": %.6f,\n",
+                 attempts == 0 ? 0.0 : aborts / attempts);
+    std::fprintf(f, "      \"mean_response_ms\": %.4f,\n", s.mean_s_ms);
+    std::fprintf(f, "      \"p95_response_ms\": %.4f,\n", s.p95_s_ms);
+    std::fprintf(f, "      \"committed\": %llu,\n",
+                 static_cast<unsigned long long>(s.committed));
+    std::fprintf(f, "      \"deadlock_victims\": %llu,\n",
+                 static_cast<unsigned long long>(s.deadlock_victims));
+    std::fprintf(f, "      \"reject_restarts\": %llu,\n",
+                 static_cast<unsigned long long>(s.reject_restarts));
+    std::fprintf(f, "      \"backoff_rounds\": %llu,\n",
+                 static_cast<unsigned long long>(s.backoff_rounds));
+    std::fprintf(f, "      \"msgs_per_txn\": %.4f,\n", s.msgs_per_txn);
+    std::fprintf(f, "      \"serializable\": %s\n",
+                 s.serializable ? "true" : "false");
+    std::fprintf(f, "    }%s\n", i + 1 == exp.cells.size() ? "" : ",");
+  }
+  std::fprintf(f, "  ]\n}\n");
+  std::fclose(f);
+  std::printf("sweep_runner: wrote %s (%zu cells)\n", path.c_str(),
+              exp.cells.size());
+  return true;
+}
+
+bool ParseFlag(const char* arg, const char* name, std::string* out) {
+  const std::size_t len = std::strlen(name);
+  if (std::strncmp(arg, name, len) == 0 && arg[len] == '=') {
+    *out = arg + len + 1;
+    return true;
+  }
+  return false;
+}
+
+bool Selected(const std::string& list, const std::string& id) {
+  if (list.empty()) return true;
+  std::size_t pos = 0;
+  while (pos < list.size()) {
+    std::size_t comma = list.find(',', pos);
+    if (comma == std::string::npos) comma = list.size();
+    if (list.substr(pos, comma - pos) == id) return true;
+    pos = comma + 1;
+  }
+  return false;
+}
+
+void PrintHelp() {
+  std::puts(
+      "sweep_runner: parallel parameter sweeps over the paper's "
+      "experiment grids\n"
+      "  --exp=e1,e2,e5,e9   comma list of experiments (default: all)\n"
+      "  --threads=<n>       worker threads (default: hardware, min 4)\n"
+      "  --txns=<n>          transactions per cell (default: 300)\n"
+      "  --out-dir=<dir>     output directory for BENCH_e*.json (default .)");
+}
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  std::string exp_list;
+  std::string out_dir = ".";
+  std::uint64_t txns = 300;
+  unsigned num_threads = std::max(4u, std::thread::hardware_concurrency());
+  for (int i = 1; i < argc; ++i) {
+    std::string v;
+    const char* a = argv[i];
+    if (std::strcmp(a, "--help") == 0) {
+      PrintHelp();
+      return 0;
+    } else if (ParseFlag(a, "--exp", &exp_list) ||
+               ParseFlag(a, "--out-dir", &out_dir)) {
+    } else if (ParseFlag(a, "--threads", &v)) {
+      const long n = std::strtol(v.c_str(), nullptr, 10);
+      num_threads = n < 1 ? 1u : static_cast<unsigned>(n);
+    } else if (ParseFlag(a, "--txns", &v)) {
+      txns = std::strtoull(v.c_str(), nullptr, 10);
+    } else {
+      std::fprintf(stderr, "unknown flag '%s' (try --help)\n", a);
+      return 2;
+    }
+  }
+
+  std::vector<Experiment> experiments;
+  if (Selected(exp_list, "e1")) experiments.push_back(MakeE1(txns));
+  if (Selected(exp_list, "e2")) experiments.push_back(MakeE2(txns));
+  if (Selected(exp_list, "e5")) experiments.push_back(MakeE5(txns));
+  if (Selected(exp_list, "e9")) experiments.push_back(MakeE9(txns));
+  if (experiments.empty()) {
+    std::fprintf(stderr, "no experiments selected from '%s'\n",
+                 exp_list.c_str());
+    return 2;
+  }
+
+  std::error_code ec;
+  std::filesystem::create_directories(out_dir, ec);
+  if (ec) {
+    std::fprintf(stderr, "sweep_runner: cannot create %s: %s\n",
+                 out_dir.c_str(), ec.message().c_str());
+    return 2;
+  }
+
+  // Flatten so one pool serves every experiment; a per-experiment pool
+  // would leave workers idle at each experiment boundary.
+  std::vector<Cell> all_cells;
+  std::vector<std::pair<std::size_t, std::size_t>> ranges;  // [begin, end)
+  for (const Experiment& exp : experiments) {
+    const std::size_t begin = all_cells.size();
+    all_cells.insert(all_cells.end(), exp.cells.begin(), exp.cells.end());
+    ranges.emplace_back(begin, all_cells.size());
+  }
+  std::printf("sweep_runner: %zu cells across %zu experiments on %u threads\n",
+              all_cells.size(), experiments.size(), num_threads);
+
+  const std::vector<RunStats> results = RunCells(all_cells, num_threads);
+
+  bool ok = true;
+  for (std::size_t e = 0; e < experiments.size(); ++e) {
+    const auto [begin, end] = ranges[e];
+    const std::vector<RunStats> slice(results.begin() + begin,
+                                        results.begin() + end);
+    ok = WriteReport(experiments[e], slice, out_dir, num_threads, txns) && ok;
+  }
+  return ok ? 0 : 1;
+}
