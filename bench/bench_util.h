@@ -9,6 +9,7 @@
 #include <string>
 
 #include "engine/engine.h"
+#include "scenario/scenario.h"
 #include "selector/selector.h"
 #include "stl/estimators.h"
 #include "workload/generator.h"
@@ -57,6 +58,33 @@ struct RunStats {
 
 enum class PolicyKind { kFixed, kMixedEven, kMinStl, kMinAvgTime };
 
+// Subscribes `est` to every estimator-relevant engine hook.
+inline EngineCallbacks EstimatorCallbacks(ParamEstimator* est) {
+  EngineCallbacks callbacks;
+  callbacks.on_commit = [est](const TxnResult& r) { est->OnCommit(r); };
+  callbacks.on_request_sent = [est](Protocol p, OpType op) {
+    est->OnRequestSent(p, op);
+  };
+  callbacks.on_lock_hold = [est](Protocol p, Duration d, bool a) {
+    est->OnLockHold(p, d, a);
+  };
+  callbacks.on_restart = [est](Protocol p, TxnOutcome w) {
+    est->OnRestart(p, w);
+  };
+  callbacks.on_grant = [est](const CopyId&, OpType op, Protocol) {
+    est->OnGrant(op);
+  };
+  callbacks.on_reject = [est](OpType op, Protocol p) {
+    est->OnReject(op, p);
+  };
+  callbacks.on_backoff_offer = [est](OpType op) {
+    est->OnBackoffOffer(op);
+  };
+  return callbacks;
+}
+
+inline RunStats ExtractStats(Engine& engine, const RunSummary& summary);
+
 inline RunStats RunOne(const BenchConfig& cfg, PolicyKind policy,
                        Protocol fixed = Protocol::kTwoPhaseLocking) {
   EngineOptions eo;
@@ -77,27 +105,8 @@ inline RunStats RunOne(const BenchConfig& cfg, PolicyKind policy,
   }
 
   auto estimator = std::make_unique<ParamEstimator>();
-  EngineCallbacks callbacks;
   ParamEstimator* est = estimator.get();
-  callbacks.on_commit = [est](const TxnResult& r) { est->OnCommit(r); };
-  callbacks.on_request_sent = [est](Protocol p, OpType op) {
-    est->OnRequestSent(p, op);
-  };
-  callbacks.on_lock_hold = [est](Protocol p, Duration d, bool a) {
-    est->OnLockHold(p, d, a);
-  };
-  callbacks.on_restart = [est](Protocol p, TxnOutcome w) {
-    est->OnRestart(p, w);
-  };
-  callbacks.on_grant = [est](const CopyId&, OpType op, Protocol) {
-    est->OnGrant(op);
-  };
-  callbacks.on_reject = [est](OpType op, Protocol p) {
-    est->OnReject(op, p);
-  };
-  callbacks.on_backoff_offer = [est](OpType op) {
-    est->OnBackoffOffer(op);
-  };
+  EngineCallbacks callbacks = EstimatorCallbacks(est);
 
   auto naive = std::make_unique<MinAvgTimeSelector>();
   if (policy == PolicyKind::kMinAvgTime) {
@@ -142,8 +151,62 @@ inline RunStats RunOne(const BenchConfig& cfg, PolicyKind policy,
   WorkloadGenerator gen(wo, cfg.num_items, cfg.user_sites,
                         Rng(cfg.seed ^ 0x5bd1e995));
   UNICC_CHECK(engine.AddWorkload(gen.Generate()).ok());
-  const RunSummary summary = engine.Run();
+  return ExtractStats(engine, engine.Run());
+}
 
+// Runs one declarative scenario to completion (sweep_runner's --scenario
+// mode and scenario-driven benches; unicc_sim wires the engine itself so
+// it can print verbose estimator state).
+inline RunStats RunScenario(const ScenarioSpec& spec) {
+  auto estimator = std::make_unique<ParamEstimator>();
+  ParamEstimator* est = estimator.get();
+  EngineCallbacks callbacks = EstimatorCallbacks(est);
+
+  auto naive = std::make_unique<MinAvgTimeSelector>();
+  if (spec.policy.kind == ScenarioPolicy::Kind::kMinAvgTime) {
+    MinAvgTimeSelector* n = naive.get();
+    auto inner = callbacks.on_commit;
+    callbacks.on_commit = [n, inner](const TxnResult& r) {
+      n->OnCommit(r);
+      if (inner) inner(r);
+    };
+  }
+
+  Engine engine(spec.engine, callbacks);
+
+  std::unique_ptr<MinStlSelector> selector;
+  ProtocolPolicy base;
+  switch (spec.policy.kind) {
+    case ScenarioPolicy::Kind::kFixed:
+      base = FixedProtocol(spec.policy.fixed);
+      break;
+    case ScenarioPolicy::Kind::kMix:
+      base = MixedProtocol(spec.policy.weights[0], spec.policy.weights[1],
+                           spec.policy.weights[2],
+                           Rng(spec.engine.seed ^ 77));
+      break;
+    case ScenarioPolicy::Kind::kMinStl:
+      selector = std::make_unique<MinStlSelector>(
+          &engine.simulator(), est,
+          static_cast<std::size_t>(spec.engine.num_items) *
+              spec.engine.replication);
+      base = selector->AsPolicy();
+      break;
+    case ScenarioPolicy::Kind::kMinAvgTime:
+      base = naive->AsPolicy();
+      break;
+    case ScenarioPolicy::Kind::kTrace:
+      base = nullptr;  // spec protocols used verbatim
+      break;
+  }
+
+  const ScenarioSpec::Workload wl = spec.BuildWorkload();
+  engine.SetProtocolPolicy(ForcedAwarePolicy(std::move(base), wl.forced));
+  UNICC_CHECK(engine.AddWorkload(wl.arrivals).ok());
+  return ExtractStats(engine, engine.Run());
+}
+
+inline RunStats ExtractStats(Engine& engine, const RunSummary& summary) {
   RunStats out;
   out.mean_s_ms = engine.metrics().MeanSystemTimeMs();
   out.p95_s_ms = engine.metrics().SystemTime().PercentileMs(95);

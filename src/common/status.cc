@@ -54,4 +54,29 @@ std::string_view OpTypeName(OpType t) {
   return t == OpType::kRead ? "r" : "w";
 }
 
+std::string_view ProtocolToken(Protocol p) {
+  switch (p) {
+    case Protocol::kTwoPhaseLocking:
+      return "2pl";
+    case Protocol::kTimestampOrdering:
+      return "to";
+    case Protocol::kPrecedenceAgreement:
+      return "pa";
+  }
+  return "?";
+}
+
+bool ParseProtocolToken(std::string_view s, Protocol* out) {
+  if (s == "2pl") {
+    *out = Protocol::kTwoPhaseLocking;
+  } else if (s == "to") {
+    *out = Protocol::kTimestampOrdering;
+  } else if (s == "pa") {
+    *out = Protocol::kPrecedenceAgreement;
+  } else {
+    return false;
+  }
+  return true;
+}
+
 }  // namespace unicc

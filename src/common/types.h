@@ -60,6 +60,12 @@ enum class OpType : std::uint8_t { kRead = 0, kWrite = 1 };
 std::string_view ProtocolName(Protocol p);
 std::string_view OpTypeName(OpType t);
 
+// Lowercase token used on the wire and in config/trace files: "2pl",
+// "to", "pa". The returned view is null-terminated.
+std::string_view ProtocolToken(Protocol p);
+// Parses a ProtocolToken; returns false on unknown input.
+bool ParseProtocolToken(std::string_view s, Protocol* out);
+
 }  // namespace unicc
 
 template <>

@@ -1,0 +1,549 @@
+#include "scenario/scenario.h"
+
+#include <algorithm>
+#include <cstdlib>
+#include <utility>
+
+#include "workload/access.h"
+#include "workload/arrival.h"
+
+namespace unicc {
+
+namespace {
+
+// Points error messages at the offending file location. Entries injected
+// programmatically (IniFile::Set, e.g. sweep overrides) have no line.
+std::string Where(const IniEntry& e) {
+  if (e.line > 0) return "line " + std::to_string(e.line) + ": ";
+  return "override: ";
+}
+
+Status BadValue(const IniEntry& e, const std::string& what) {
+  return Status::InvalidArgument(Where(e) + "key '" + e.key + "': " + what +
+                                 " (got '" + e.value + "')");
+}
+
+Status ParseUint(const IniEntry& e, std::uint64_t* out) {
+  if (e.value.empty()) return BadValue(e, "expected unsigned integer");
+  char* end = nullptr;
+  const unsigned long long v = std::strtoull(e.value.c_str(), &end, 10);
+  if (end == e.value.c_str() || *end != '\0' || e.value[0] == '-') {
+    return BadValue(e, "expected unsigned integer");
+  }
+  *out = v;
+  return Status::OK();
+}
+
+Status ParseDouble(const IniEntry& e, double* out) {
+  if (e.value.empty()) return BadValue(e, "expected number");
+  char* end = nullptr;
+  const double v = std::strtod(e.value.c_str(), &end);
+  if (end == e.value.c_str() || *end != '\0') {
+    return BadValue(e, "expected number");
+  }
+  *out = v;
+  return Status::OK();
+}
+
+Status ParseBool(const IniEntry& e, bool* out) {
+  if (e.value == "true" || e.value == "on" || e.value == "1") {
+    *out = true;
+  } else if (e.value == "false" || e.value == "off" || e.value == "0") {
+    *out = false;
+  } else {
+    return BadValue(e, "expected true/false");
+  }
+  return Status::OK();
+}
+
+Status ParseProtocol(const IniEntry& e, Protocol* out) {
+  if (!ParseProtocolToken(e.value, out)) {
+    return BadValue(e, "expected 2pl/to/pa");
+  }
+  return Status::OK();
+}
+
+// Milliseconds (fractional allowed) -> simulated-microsecond Duration.
+Status ParseMs(const IniEntry& e, Duration* out) {
+  double ms = 0;
+  if (Status s = ParseDouble(e, &ms); !s.ok()) return s;
+  if (ms < 0) return BadValue(e, "must be >= 0");
+  *out = static_cast<Duration>(ms * 1000);
+  return Status::OK();
+}
+
+Status ParseFraction(const IniEntry& e, double* out) {
+  if (Status s = ParseDouble(e, out); !s.ok()) return s;
+  if (*out < 0 || *out > 1) return BadValue(e, "must be in [0, 1]");
+  return Status::OK();
+}
+
+// "N" or "LO..HI" (inclusive).
+Status ParseSizeRange(const IniEntry& e, std::uint32_t* lo,
+                      std::uint32_t* hi) {
+  const std::size_t dots = e.value.find("..");
+  IniEntry sub = e;
+  if (dots == std::string::npos) {
+    std::uint64_t v = 0;
+    if (Status s = ParseUint(e, &v); !s.ok()) return s;
+    *lo = *hi = static_cast<std::uint32_t>(v);
+  } else {
+    std::uint64_t a = 0, b = 0;
+    sub.value = e.value.substr(0, dots);
+    if (Status s = ParseUint(sub, &a); !s.ok()) return s;
+    sub.value = e.value.substr(dots + 2);
+    if (Status s = ParseUint(sub, &b); !s.ok()) return s;
+    *lo = static_cast<std::uint32_t>(a);
+    *hi = static_cast<std::uint32_t>(b);
+  }
+  if (*lo < 1 || *lo > *hi) {
+    return BadValue(e, "expected size N or LO..HI with 1 <= LO <= HI");
+  }
+  return Status::OK();
+}
+
+Status ParseScenarioSection(const IniSection& sec, ScenarioSpec* spec) {
+  for (const IniEntry& e : sec.entries) {
+    if (e.key == "name") {
+      spec->name = e.value;
+    } else if (e.key == "description") {
+      spec->description = e.value;
+    } else {
+      return Status::InvalidArgument(Where(e) + "unknown [scenario] key '" +
+                                     e.key + "'");
+    }
+  }
+  return Status::OK();
+}
+
+Status ParseEngineSection(const IniSection& sec, EngineOptions* eo) {
+  for (const IniEntry& e : sec.entries) {
+    std::uint64_t u = 0;
+    if (e.key == "user_sites") {
+      if (Status s = ParseUint(e, &u); !s.ok()) return s;
+      eo->num_user_sites = static_cast<std::uint32_t>(u);
+    } else if (e.key == "data_sites") {
+      if (Status s = ParseUint(e, &u); !s.ok()) return s;
+      eo->num_data_sites = static_cast<std::uint32_t>(u);
+    } else if (e.key == "items") {
+      if (Status s = ParseUint(e, &u); !s.ok()) return s;
+      eo->num_items = static_cast<ItemId>(u);
+    } else if (e.key == "replication") {
+      if (Status s = ParseUint(e, &u); !s.ok()) return s;
+      eo->replication = static_cast<std::uint32_t>(u);
+    } else if (e.key == "backend") {
+      if (e.value == "unified") {
+        eo->backend = BackendKind::kUnified;
+      } else if (e.value == "pure") {
+        eo->backend = BackendKind::kPure;
+      } else {
+        return BadValue(e, "expected unified/pure");
+      }
+    } else if (e.key == "protocol") {
+      if (Status s = ParseProtocol(e, &eo->pure_protocol); !s.ok()) return s;
+    } else if (e.key == "detector") {
+      if (e.value == "central") {
+        eo->detector = DetectorKind::kCentral;
+      } else if (e.value == "probe") {
+        eo->detector = DetectorKind::kProbe;
+      } else if (e.value == "none") {
+        eo->detector = DetectorKind::kNone;
+      } else {
+        return BadValue(e, "expected central/probe/none");
+      }
+    } else if (e.key == "semi_locks") {
+      if (Status s = ParseBool(e, &eo->semi_locks); !s.ok()) return s;
+    } else if (e.key == "delay_ms") {
+      if (Status s = ParseMs(e, &eo->network.base_delay); !s.ok()) return s;
+    } else if (e.key == "jitter_ms") {
+      if (Status s = ParseMs(e, &eo->network.jitter_mean); !s.ok()) return s;
+    } else if (e.key == "skew_ms") {
+      if (Status s = ParseMs(e, &eo->max_clock_skew); !s.ok()) return s;
+    } else if (e.key == "restart_delay_ms") {
+      if (Status s = ParseMs(e, &eo->restart_delay_mean); !s.ok()) return s;
+    } else if (e.key == "backoff_interval") {
+      if (Status s = ParseUint(e, &u); !s.ok()) return s;
+      if (u == 0) return BadValue(e, "must be >= 1");
+      eo->default_backoff_interval = u;
+    } else if (e.key == "seed") {
+      if (Status s = ParseUint(e, &eo->seed); !s.ok()) return s;
+    } else {
+      return Status::InvalidArgument(Where(e) + "unknown [engine] key '" +
+                                     e.key + "'");
+    }
+  }
+  return Status::OK();
+}
+
+Status ParsePolicySection(const IniSection& sec, ScenarioPolicy* policy) {
+  for (const IniEntry& e : sec.entries) {
+    if (e.key == "kind") {
+      if (e.value == "fixed") {
+        policy->kind = ScenarioPolicy::Kind::kFixed;
+      } else if (e.value == "mix") {
+        policy->kind = ScenarioPolicy::Kind::kMix;
+      } else if (e.value == "minstl") {
+        policy->kind = ScenarioPolicy::Kind::kMinStl;
+      } else if (e.value == "minavg") {
+        policy->kind = ScenarioPolicy::Kind::kMinAvgTime;
+      } else if (e.value == "trace") {
+        policy->kind = ScenarioPolicy::Kind::kTrace;
+      } else {
+        return BadValue(e, "expected fixed/mix/minstl/minavg/trace");
+      }
+    } else if (e.key == "protocol") {
+      if (Status s = ParseProtocol(e, &policy->fixed); !s.ok()) return s;
+    } else if (e.key == "weights") {
+      // "w2pl,wto,wpa", all >= 0, sum > 0.
+      IniEntry sub = e;
+      std::size_t pos = 0;
+      double sum = 0;
+      for (int i = 0; i < kNumProtocols; ++i) {
+        const bool last = i + 1 == kNumProtocols;
+        const std::size_t comma = e.value.find(',', pos);
+        if (last != (comma == std::string::npos)) {
+          return BadValue(e, "expected three comma-separated weights");
+        }
+        sub.value = e.value.substr(
+            pos, last ? std::string::npos : comma - pos);
+        if (Status s = ParseDouble(sub, &policy->weights[i]); !s.ok()) {
+          return s;
+        }
+        if (policy->weights[i] < 0) return BadValue(e, "weights must be >= 0");
+        sum += policy->weights[i];
+        pos = comma + 1;
+      }
+      if (sum <= 0) return BadValue(e, "weights must not all be zero");
+    } else {
+      return Status::InvalidArgument(Where(e) + "unknown [policy] key '" +
+                                     e.key + "'");
+    }
+  }
+  return Status::OK();
+}
+
+Status ParseClassSection(const IniSection& sec, const std::string& name,
+                         ScenarioClass* c) {
+  c->name = name;
+  bool saw_txns = false, saw_rate = false;
+  for (const IniEntry& e : sec.entries) {
+    std::uint64_t u = 0;
+    if (e.key == "txns") {
+      if (Status s = ParseUint(e, &c->txns); !s.ok()) return s;
+      if (c->txns == 0) return BadValue(e, "must be >= 1");
+      saw_txns = true;
+    } else if (e.key == "start_ms") {
+      Duration d = 0;
+      if (Status s = ParseMs(e, &d); !s.ok()) return s;
+      c->start = d;
+    } else if (e.key == "arrival") {
+      if (e.value == "poisson") {
+        c->arrival = ScenarioClass::ArrivalKind::kPoisson;
+      } else if (e.value == "onoff") {
+        c->arrival = ScenarioClass::ArrivalKind::kOnOff;
+      } else {
+        return BadValue(e, "expected poisson/onoff");
+      }
+    } else if (e.key == "rate") {
+      if (Status s = ParseDouble(e, &c->rate); !s.ok()) return s;
+      if (c->rate <= 0) return BadValue(e, "must be > 0");
+      saw_rate = true;
+    } else if (e.key == "off_rate") {
+      if (Status s = ParseDouble(e, &c->off_rate); !s.ok()) return s;
+      if (c->off_rate < 0) return BadValue(e, "must be >= 0");
+    } else if (e.key == "on_ms") {
+      if (Status s = ParseMs(e, &c->on_mean); !s.ok()) return s;
+    } else if (e.key == "off_ms") {
+      if (Status s = ParseMs(e, &c->off_mean); !s.ok()) return s;
+    } else if (e.key == "size") {
+      if (Status s = ParseSizeRange(e, &c->size_min, &c->size_max); !s.ok()) {
+        return s;
+      }
+    } else if (e.key == "read_fraction") {
+      if (Status s = ParseFraction(e, &c->read_fraction); !s.ok()) return s;
+    } else if (e.key == "access") {
+      if (e.value == "uniform") {
+        c->access = ScenarioClass::AccessKind::kUniform;
+      } else if (e.value == "zipf") {
+        c->access = ScenarioClass::AccessKind::kZipf;
+      } else if (e.value == "hotspot") {
+        c->access = ScenarioClass::AccessKind::kHotspot;
+      } else if (e.value == "partition") {
+        c->access = ScenarioClass::AccessKind::kPartition;
+      } else {
+        return BadValue(e, "expected uniform/zipf/hotspot/partition");
+      }
+    } else if (e.key == "theta") {
+      if (Status s = ParseDouble(e, &c->theta); !s.ok()) return s;
+      if (c->theta < 0) return BadValue(e, "must be >= 0");
+    } else if (e.key == "hot_items") {
+      if (Status s = ParseUint(e, &u); !s.ok()) return s;
+      if (u == 0) return BadValue(e, "must be >= 1");
+      c->hot_items = static_cast<ItemId>(u);
+    } else if (e.key == "hot_fraction") {
+      if (Status s = ParseFraction(e, &c->hot_fraction); !s.ok()) return s;
+    } else if (e.key == "partitions") {
+      if (Status s = ParseUint(e, &u); !s.ok()) return s;
+      if (u == 0) return BadValue(e, "must be >= 1");
+      c->partitions = static_cast<std::uint32_t>(u);
+    } else if (e.key == "cross_fraction") {
+      if (Status s = ParseFraction(e, &c->cross_fraction); !s.ok()) return s;
+    } else if (e.key == "compute_ms") {
+      if (Status s = ParseMs(e, &c->compute_time); !s.ok()) return s;
+    } else if (e.key == "backoff_interval") {
+      if (Status s = ParseUint(e, &c->backoff_interval); !s.ok()) return s;
+    } else if (e.key == "protocol") {
+      if (Status s = ParseProtocol(e, &c->protocol); !s.ok()) return s;
+      c->has_protocol = true;
+    } else {
+      return Status::InvalidArgument(Where(e) + "unknown [class] key '" +
+                                     e.key + "'");
+    }
+  }
+  const std::string where =
+      "[class " + name + "] (line " + std::to_string(sec.line) + "): ";
+  if (!saw_txns) return Status::InvalidArgument(where + "missing 'txns'");
+  if (!saw_rate) return Status::InvalidArgument(where + "missing 'rate'");
+  if (c->arrival == ScenarioClass::ArrivalKind::kOnOff) {
+    if (c->on_mean == 0 || c->off_mean == 0) {
+      return Status::InvalidArgument(
+          where + "onoff arrivals need on_ms > 0 and off_ms > 0");
+    }
+  }
+  return Status::OK();
+}
+
+// Checks constraints that span sections (class knobs against the engine's
+// item count, pure backend against the policy).
+Status CrossValidate(const ScenarioSpec& spec) {
+  for (const ScenarioClass& c : spec.classes) {
+    const std::string where = "[class " + c.name + "]: ";
+    if (c.size_max > spec.engine.num_items) {
+      return Status::InvalidArgument(where +
+                                     "size exceeds [engine] items");
+    }
+    switch (c.access) {
+      case ScenarioClass::AccessKind::kUniform:
+      case ScenarioClass::AccessKind::kZipf:
+        break;
+      case ScenarioClass::AccessKind::kHotspot:
+        if (c.hot_items == 0 || c.hot_items >= spec.engine.num_items) {
+          return Status::InvalidArgument(
+              where + "hotspot needs 1 <= hot_items < items");
+        }
+        if (c.hot_fraction >= 1.0 && c.size_max > c.hot_items) {
+          return Status::InvalidArgument(
+              where + "hot_fraction = 1 cannot fill size > hot_items");
+        }
+        if (c.hot_fraction <= 0.0 &&
+            c.size_max > spec.engine.num_items - c.hot_items) {
+          return Status::InvalidArgument(
+              where + "hot_fraction = 0 cannot fill size > items - hot_items");
+        }
+        break;
+      case ScenarioClass::AccessKind::kPartition:
+        if (c.partitions > spec.engine.num_items) {
+          return Status::InvalidArgument(where +
+                                         "more partitions than items");
+        }
+        if (c.cross_fraction == 0 &&
+            c.size_max > spec.engine.num_items / c.partitions) {
+          return Status::InvalidArgument(
+              where +
+              "cross_fraction = 0 cannot fill size > items/partitions");
+        }
+        break;
+    }
+  }
+  if (spec.engine.backend == BackendKind::kPure) {
+    // A pure backend serves exactly one protocol; every transaction must
+    // be steered to it.
+    if (spec.policy.kind != ScenarioPolicy::Kind::kFixed ||
+        spec.policy.fixed != spec.engine.pure_protocol) {
+      return Status::InvalidArgument(
+          "[engine] backend = pure requires [policy] kind = fixed with the "
+          "same protocol");
+    }
+    for (const ScenarioClass& c : spec.classes) {
+      if (c.has_protocol && c.protocol != spec.engine.pure_protocol) {
+        return Status::InvalidArgument(
+            "[class " + c.name +
+            "]: forced protocol conflicts with the pure backend");
+      }
+    }
+  }
+  return spec.engine.Validate();
+}
+
+std::unique_ptr<ArrivalProcess> MakeArrivals(const ScenarioClass& c) {
+  switch (c.arrival) {
+    case ScenarioClass::ArrivalKind::kOnOff:
+      return MakeOnOffArrivals(c.rate, c.off_rate,
+                               static_cast<double>(c.on_mean),
+                               static_cast<double>(c.off_mean));
+    case ScenarioClass::ArrivalKind::kPoisson:
+      break;
+  }
+  return MakePoissonArrivals(c.rate);
+}
+
+std::unique_ptr<AccessPattern> MakeAccess(const ScenarioClass& c,
+                                          ItemId num_items) {
+  switch (c.access) {
+    case ScenarioClass::AccessKind::kZipf:
+      return MakeZipfAccess(num_items, c.theta);
+    case ScenarioClass::AccessKind::kHotspot:
+      return MakeHotspotAccess(num_items, c.hot_items, c.hot_fraction);
+    case ScenarioClass::AccessKind::kPartition:
+      return MakePartitionedAccess(num_items, c.partitions,
+                                   c.cross_fraction);
+    case ScenarioClass::AccessKind::kUniform:
+      break;
+  }
+  return MakeUniformAccess(num_items);
+}
+
+}  // namespace
+
+StatusOr<ScenarioSpec> ScenarioSpec::FromIni(const IniFile& ini) {
+  ScenarioSpec spec;
+  constexpr char kClassPrefix[] = "class ";
+  for (const IniSection& sec : ini.sections()) {
+    if (sec.name == "scenario") {
+      if (Status s = ParseScenarioSection(sec, &spec); !s.ok()) return s;
+    } else if (sec.name == "engine") {
+      if (Status s = ParseEngineSection(sec, &spec.engine); !s.ok()) return s;
+    } else if (sec.name == "policy") {
+      if (Status s = ParsePolicySection(sec, &spec.policy); !s.ok()) return s;
+    } else if (sec.name.rfind(kClassPrefix, 0) == 0) {
+      std::string name = sec.name.substr(sizeof(kClassPrefix) - 1);
+      for (const ScenarioClass& c : spec.classes) {
+        if (c.name == name) {
+          return Status::InvalidArgument("line " + std::to_string(sec.line) +
+                                         ": duplicate class '" + name + "'");
+        }
+      }
+      ScenarioClass c;
+      if (Status s = ParseClassSection(sec, name, &c); !s.ok()) return s;
+      spec.classes.push_back(std::move(c));
+    } else {
+      return Status::InvalidArgument(
+          "line " + std::to_string(sec.line) + ": unknown section [" +
+          sec.name + "] (expected scenario/engine/policy/class NAME)");
+    }
+  }
+  if (spec.classes.empty()) {
+    return Status::InvalidArgument("scenario has no [class NAME] section");
+  }
+  if (Status s = CrossValidate(spec); !s.ok()) return s;
+  return spec;
+}
+
+StatusOr<ScenarioSpec> ScenarioSpec::Parse(const std::string& text) {
+  auto ini = IniFile::Parse(text);
+  if (!ini.ok()) return ini.status();
+  return FromIni(*ini);
+}
+
+StatusOr<ScenarioSpec> ScenarioSpec::LoadFile(const std::string& path) {
+  auto ini = IniFile::ReadFile(path);
+  if (!ini.ok()) return ini.status();
+  return FromIni(*ini);
+}
+
+std::uint64_t ScenarioSpec::TotalTxns() const {
+  std::uint64_t total = 0;
+  for (const ScenarioClass& c : classes) total += c.txns;
+  return total;
+}
+
+ScenarioSpec::Workload ScenarioSpec::BuildWorkload() const {
+  struct Pending {
+    WorkloadGenerator::Arrival arrival;
+    std::size_t class_index;
+    std::uint64_t seq;
+    bool forced;
+  };
+  std::vector<Pending> pending;
+  pending.reserve(TotalTxns());
+
+  for (std::size_t ci = 0; ci < classes.size(); ++ci) {
+    const ScenarioClass& c = classes[ci];
+    // Each class gets its own deterministic stream so editing one class
+    // leaves the other classes' draws untouched.
+    Rng rng(engine.seed ^ (0x9e3779b97f4a7c15ull * (ci + 1)));
+    auto arrivals = MakeArrivals(c);
+    auto access = MakeAccess(c, engine.num_items);
+    double t = static_cast<double>(c.start);
+    for (std::uint64_t n = 0; n < c.txns; ++n) {
+      t += arrivals->NextGapUs(rng);
+      Pending p;
+      p.class_index = ci;
+      p.seq = n;
+      p.forced = c.has_protocol;
+      p.arrival.when = static_cast<SimTime>(t);
+      TxnSpec& spec = p.arrival.spec;
+      spec.home =
+          static_cast<SiteId>(rng.UniformInt(engine.num_user_sites));
+      spec.compute_time = c.compute_time;
+      spec.backoff_interval = c.backoff_interval;
+      if (c.has_protocol) spec.protocol = c.protocol;
+      const std::uint32_t size = static_cast<std::uint32_t>(
+          rng.UniformRange(c.size_min, c.size_max));
+      std::vector<ItemId> items;
+      items.reserve(size);
+      while (items.size() < size) {  // retry duplicate draws
+        const ItemId item = access->Next(rng, spec.home);
+        if (std::find(items.begin(), items.end(), item) == items.end()) {
+          items.push_back(item);
+        }
+      }
+      for (ItemId item : items) {
+        if (rng.Bernoulli(c.read_fraction)) {
+          spec.read_set.push_back(item);
+        } else {
+          spec.write_set.push_back(item);
+        }
+      }
+      pending.push_back(std::move(p));
+    }
+  }
+
+  // Global time order; ties broken by (class, sequence) so the merge is
+  // deterministic. Ids are assigned in admission order.
+  std::sort(pending.begin(), pending.end(),
+            [](const Pending& a, const Pending& b) {
+              if (a.arrival.when != b.arrival.when) {
+                return a.arrival.when < b.arrival.when;
+              }
+              if (a.class_index != b.class_index) {
+                return a.class_index < b.class_index;
+              }
+              return a.seq < b.seq;
+            });
+
+  Workload out;
+  out.arrivals.reserve(pending.size());
+  out.forced = std::make_shared<std::unordered_set<TxnId>>();
+  TxnId next_id = 1;
+  for (Pending& p : pending) {
+    p.arrival.spec.id = next_id++;
+    if (p.forced) out.forced->insert(p.arrival.spec.id);
+    out.arrivals.push_back(std::move(p.arrival));
+  }
+  return out;
+}
+
+ProtocolPolicy ForcedAwarePolicy(
+    ProtocolPolicy base,
+    std::shared_ptr<const std::unordered_set<TxnId>> forced) {
+  return [base = std::move(base),
+          forced = std::move(forced)](const TxnSpec& spec) {
+    if (forced != nullptr && forced->count(spec.id) != 0) {
+      return spec.protocol;
+    }
+    return base ? base(spec) : spec.protocol;
+  };
+}
+
+}  // namespace unicc

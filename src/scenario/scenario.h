@@ -1,0 +1,119 @@
+// Declarative scenarios: a complete experiment configuration — cluster
+// shape, protocol-selection policy and a multi-class workload mix — parsed
+// from a small INI file instead of hard-coded C++. See docs/scenarios.md
+// for the file-format reference and scenarios/ for shipped examples.
+//
+// A scenario has one [engine] section, an optional [policy] section and
+// one or more [class NAME] sections. Each class is an independent stream
+// of transactions with its own arrival process (Poisson or bursty on-off),
+// size distribution, access pattern (uniform / zipf / hotspot /
+// partition), read fraction and optional forced protocol.
+#ifndef UNICC_SCENARIO_SCENARIO_H_
+#define UNICC_SCENARIO_SCENARIO_H_
+
+#include <memory>
+#include <string>
+#include <unordered_set>
+#include <vector>
+
+#include "common/status.h"
+#include "engine/config.h"
+#include "scenario/ini.h"
+#include "workload/generator.h"
+
+namespace unicc {
+
+// How transactions pick their protocol. `kTrace` means "no policy": the
+// per-transaction protocols in the workload (or replayed trace) are used
+// verbatim.
+struct ScenarioPolicy {
+  enum class Kind : std::uint8_t {
+    kFixed = 0,
+    kMix = 1,
+    kMinStl = 2,
+    kMinAvgTime = 3,
+    kTrace = 4,
+  };
+  Kind kind = Kind::kFixed;
+  Protocol fixed = Protocol::kTwoPhaseLocking;  // kFixed only
+  double weights[kNumProtocols] = {1, 1, 1};    // kMix only
+};
+
+// One workload class: a stream of structurally similar transactions.
+struct ScenarioClass {
+  std::string name;
+
+  std::uint64_t txns = 0;
+  SimTime start = 0;  // offset added to every arrival of this class
+
+  enum class ArrivalKind : std::uint8_t { kPoisson = 0, kOnOff = 1 };
+  ArrivalKind arrival = ArrivalKind::kPoisson;
+  double rate = 0;          // tx/s; on-phase rate for kOnOff
+  double off_rate = 0;      // kOnOff: rate during the off phase (may be 0)
+  Duration on_mean = 0;     // kOnOff: mean on-phase length
+  Duration off_mean = 0;    // kOnOff: mean off-phase length
+
+  std::uint32_t size_min = 4;
+  std::uint32_t size_max = 4;
+  double read_fraction = 0.5;
+
+  enum class AccessKind : std::uint8_t {
+    kUniform = 0,
+    kZipf = 1,
+    kHotspot = 2,
+    kPartition = 3,
+  };
+  AccessKind access = AccessKind::kUniform;
+  double theta = 0;            // kZipf
+  ItemId hot_items = 0;        // kHotspot
+  double hot_fraction = 0;     // kHotspot
+  std::uint32_t partitions = 1;  // kPartition
+  double cross_fraction = 0;     // kPartition
+
+  Duration compute_time = 5 * kMillisecond;
+  Timestamp backoff_interval = 0;  // 0: engine default
+
+  // Forced per-class protocol; overrides the scenario policy for every
+  // transaction of this class.
+  bool has_protocol = false;
+  Protocol protocol = Protocol::kTwoPhaseLocking;
+};
+
+// A parsed, validated scenario.
+struct ScenarioSpec {
+  std::string name;
+  std::string description;
+  EngineOptions engine;
+  ScenarioPolicy policy;
+  std::vector<ScenarioClass> classes;
+
+  // Parsing. Every key is validated: unknown sections/keys, unparsable
+  // values and out-of-range settings are InvalidArgument with the line
+  // number. FromIni allows programmatic overrides (IniFile::Set) before
+  // validation, which is how sweep_runner expands scenario grids.
+  static StatusOr<ScenarioSpec> FromIni(const IniFile& ini);
+  static StatusOr<ScenarioSpec> Parse(const std::string& text);
+  static StatusOr<ScenarioSpec> LoadFile(const std::string& path);
+
+  // The generated workload: arrivals of all classes merged in time order
+  // with ids 1..N, plus the ids whose protocol a class forces. Fully
+  // deterministic in engine.seed.
+  struct Workload {
+    std::vector<WorkloadGenerator::Arrival> arrivals;
+    std::shared_ptr<std::unordered_set<TxnId>> forced;
+  };
+  Workload BuildWorkload() const;
+
+  std::uint64_t TotalTxns() const;
+};
+
+// Wraps a base protocol policy so transactions in `forced` keep the
+// protocol already in their spec. `base` may be null (behaves like
+// ScenarioPolicy::Kind::kTrace for unforced transactions).
+ProtocolPolicy ForcedAwarePolicy(
+    ProtocolPolicy base,
+    std::shared_ptr<const std::unordered_set<TxnId>> forced);
+
+}  // namespace unicc
+
+#endif  // UNICC_SCENARIO_SCENARIO_H_

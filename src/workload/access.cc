@@ -1,0 +1,116 @@
+#include "workload/access.h"
+
+#include "common/check.h"
+#include "workload/zipf.h"
+
+namespace unicc {
+
+namespace {
+
+class UniformAccess : public AccessPattern {
+ public:
+  explicit UniformAccess(ItemId num_items) : num_items_(num_items) {
+    UNICC_CHECK(num_items_ > 0);
+  }
+
+  ItemId Next(Rng& rng, std::uint32_t) override {
+    return static_cast<ItemId>(rng.UniformInt(num_items_));
+  }
+
+ private:
+  ItemId num_items_;
+};
+
+class ZipfAccess : public AccessPattern {
+ public:
+  ZipfAccess(ItemId num_items, double theta) : zipf_(num_items, theta) {}
+
+  ItemId Next(Rng& rng, std::uint32_t) override {
+    return static_cast<ItemId>(zipf_.Next(rng));
+  }
+
+ private:
+  ZipfGenerator zipf_;
+};
+
+class HotspotAccess : public AccessPattern {
+ public:
+  HotspotAccess(ItemId num_items, ItemId hot_items, double hot_fraction)
+      : num_items_(num_items),
+        hot_items_(hot_items),
+        hot_fraction_(hot_fraction) {
+    UNICC_CHECK(hot_items_ > 0 && hot_items_ < num_items_);
+    UNICC_CHECK(hot_fraction_ >= 0 && hot_fraction_ <= 1);
+  }
+
+  ItemId Next(Rng& rng, std::uint32_t) override {
+    if (rng.Bernoulli(hot_fraction_)) {
+      return static_cast<ItemId>(rng.UniformInt(hot_items_));
+    }
+    return static_cast<ItemId>(hot_items_ +
+                               rng.UniformInt(num_items_ - hot_items_));
+  }
+
+ private:
+  ItemId num_items_;
+  ItemId hot_items_;
+  double hot_fraction_;
+};
+
+class PartitionedAccess : public AccessPattern {
+ public:
+  PartitionedAccess(ItemId num_items, std::uint32_t partitions,
+                    double cross_fraction)
+      : num_items_(num_items),
+        partitions_(partitions),
+        cross_fraction_(cross_fraction) {
+    UNICC_CHECK(partitions_ >= 1 && partitions_ <= num_items_);
+    UNICC_CHECK(cross_fraction_ >= 0 && cross_fraction_ <= 1);
+  }
+
+  ItemId Next(Rng& rng, std::uint32_t affinity) override {
+    std::uint32_t part = affinity % partitions_;
+    if (partitions_ > 1 && rng.Bernoulli(cross_fraction_)) {
+      // Uniform over the other partitions.
+      const std::uint32_t other =
+          static_cast<std::uint32_t>(rng.UniformInt(partitions_ - 1));
+      part = other < part ? other : other + 1;
+    }
+    // Partition p owns [lo, hi): contiguous, sizes differing by <= 1.
+    const ItemId lo = static_cast<ItemId>(
+        (static_cast<std::uint64_t>(num_items_) * part) / partitions_);
+    const ItemId hi = static_cast<ItemId>(
+        (static_cast<std::uint64_t>(num_items_) * (part + 1)) / partitions_);
+    return static_cast<ItemId>(lo + rng.UniformInt(hi - lo));
+  }
+
+ private:
+  ItemId num_items_;
+  std::uint32_t partitions_;
+  double cross_fraction_;
+};
+
+}  // namespace
+
+std::unique_ptr<AccessPattern> MakeUniformAccess(ItemId num_items) {
+  return std::make_unique<UniformAccess>(num_items);
+}
+
+std::unique_ptr<AccessPattern> MakeZipfAccess(ItemId num_items,
+                                              double theta) {
+  return std::make_unique<ZipfAccess>(num_items, theta);
+}
+
+std::unique_ptr<AccessPattern> MakeHotspotAccess(ItemId num_items,
+                                                 ItemId hot_items,
+                                                 double hot_fraction) {
+  return std::make_unique<HotspotAccess>(num_items, hot_items, hot_fraction);
+}
+
+std::unique_ptr<AccessPattern> MakePartitionedAccess(
+    ItemId num_items, std::uint32_t partitions, double cross_fraction) {
+  return std::make_unique<PartitionedAccess>(num_items, partitions,
+                                             cross_fraction);
+}
+
+}  // namespace unicc

@@ -1,0 +1,51 @@
+// Item access patterns: which logical items a transaction touches.
+// Uniform and Zipfian cover the paper's experiments; hotspot (a small hot
+// set absorbing most accesses) and partitioned (home-site affinity with
+// occasional cross-partition escapes) model the sharded deployments the
+// ROADMAP targets.
+#ifndef UNICC_WORKLOAD_ACCESS_H_
+#define UNICC_WORKLOAD_ACCESS_H_
+
+#include <memory>
+
+#include "common/rng.h"
+#include "common/types.h"
+
+namespace unicc {
+
+// Draws item ids in [0, num_items). `affinity` is a caller-provided
+// locality hint (unicc uses the transaction's home user site); only the
+// partitioned pattern consumes it, the others ignore it.
+class AccessPattern {
+ public:
+  virtual ~AccessPattern() = default;
+
+  virtual ItemId Next(Rng& rng, std::uint32_t affinity) = 0;
+};
+
+// Every item equally likely.
+std::unique_ptr<AccessPattern> MakeUniformAccess(ItemId num_items);
+
+// Zipfian popularity with exponent `theta` >= 0 (0 degenerates to
+// uniform); item 0 is the most popular.
+std::unique_ptr<AccessPattern> MakeZipfAccess(ItemId num_items,
+                                              double theta);
+
+// With probability `hot_fraction` the access goes to a uniformly chosen
+// item of the hot set [0, hot_items); otherwise to the cold remainder.
+// Requires 0 < hot_items < num_items and hot_fraction in [0, 1].
+std::unique_ptr<AccessPattern> MakeHotspotAccess(ItemId num_items,
+                                                 ItemId hot_items,
+                                                 double hot_fraction);
+
+// Items are split into `partitions` contiguous ranges; an access lands in
+// partition `affinity % partitions` except with probability
+// `cross_fraction`, when it picks a uniformly random other partition.
+// Requires 1 <= partitions <= num_items and cross_fraction in [0, 1].
+std::unique_ptr<AccessPattern> MakePartitionedAccess(ItemId num_items,
+                                                     std::uint32_t partitions,
+                                                     double cross_fraction);
+
+}  // namespace unicc
+
+#endif  // UNICC_WORKLOAD_ACCESS_H_

@@ -1,0 +1,88 @@
+#include "workload/arrival.h"
+
+#include "common/check.h"
+
+namespace unicc {
+
+namespace {
+
+class PoissonArrivals : public ArrivalProcess {
+ public:
+  explicit PoissonArrivals(double rate_per_sec)
+      : mean_gap_us_(1e6 / rate_per_sec) {
+    UNICC_CHECK(rate_per_sec > 0);
+  }
+
+  double NextGapUs(Rng& rng) override {
+    return rng.Exponential(mean_gap_us_);
+  }
+
+ private:
+  double mean_gap_us_;
+};
+
+class OnOffArrivals : public ArrivalProcess {
+ public:
+  OnOffArrivals(double on_rate_per_sec, double off_rate_per_sec,
+                double mean_on_us, double mean_off_us)
+      : on_rate_(on_rate_per_sec),
+        off_rate_(off_rate_per_sec),
+        mean_on_us_(mean_on_us),
+        mean_off_us_(mean_off_us) {
+    UNICC_CHECK(on_rate_ > 0);
+    UNICC_CHECK(off_rate_ >= 0);
+    UNICC_CHECK(mean_on_us_ > 0 && mean_off_us_ > 0);
+  }
+
+  double NextGapUs(Rng& rng) override {
+    double gap = 0;
+    for (;;) {
+      if (phase_left_us_ <= 0) {
+        in_on_phase_ = !in_on_phase_;
+        phase_left_us_ = rng.Exponential(in_on_phase_ ? mean_on_us_
+                                                      : mean_off_us_);
+      }
+      const double rate = in_on_phase_ ? on_rate_ : off_rate_;
+      if (rate <= 0) {  // silent phase: skip it entirely
+        gap += phase_left_us_;
+        phase_left_us_ = 0;
+        continue;
+      }
+      const double candidate = rng.Exponential(1e6 / rate);
+      if (candidate <= phase_left_us_) {
+        phase_left_us_ -= candidate;
+        return gap + candidate;
+      }
+      // No arrival before the phase ends; spend the remainder and retry
+      // under the next phase's rate (memorylessness makes this exact).
+      gap += phase_left_us_;
+      phase_left_us_ = 0;
+    }
+  }
+
+ private:
+  double on_rate_;
+  double off_rate_;
+  double mean_on_us_;
+  double mean_off_us_;
+  // The first NextGapUs call flips this and draws a phase length, so the
+  // process starts in the on phase as documented.
+  bool in_on_phase_ = false;
+  double phase_left_us_ = 0;  // drawn lazily on first use
+};
+
+}  // namespace
+
+std::unique_ptr<ArrivalProcess> MakePoissonArrivals(double rate_per_sec) {
+  return std::make_unique<PoissonArrivals>(rate_per_sec);
+}
+
+std::unique_ptr<ArrivalProcess> MakeOnOffArrivals(double on_rate_per_sec,
+                                                  double off_rate_per_sec,
+                                                  double mean_on_us,
+                                                  double mean_off_us) {
+  return std::make_unique<OnOffArrivals>(on_rate_per_sec, off_rate_per_sec,
+                                         mean_on_us, mean_off_us);
+}
+
+}  // namespace unicc

@@ -1,0 +1,43 @@
+// Arrival processes: the stochastic clock that spaces transaction
+// arrivals. Poisson (exponential gaps at a fixed rate) matches the paper's
+// open-system assumption; the on-off process is a two-state MMPP that
+// alternates between a high-rate burst phase and a low-rate (possibly
+// silent) quiet phase, modelling flash crowds and diurnal load.
+#ifndef UNICC_WORKLOAD_ARRIVAL_H_
+#define UNICC_WORKLOAD_ARRIVAL_H_
+
+#include <memory>
+
+#include "common/rng.h"
+#include "common/status.h"
+#include "common/types.h"
+
+namespace unicc {
+
+// Generates successive inter-arrival gaps in simulated microseconds. One
+// instance carries the phase state of one workload class; all randomness
+// comes from the caller-supplied Rng so runs stay reproducible.
+class ArrivalProcess {
+ public:
+  virtual ~ArrivalProcess() = default;
+
+  // Gap between the previous arrival and the next one, in microseconds.
+  virtual double NextGapUs(Rng& rng) = 0;
+};
+
+// Poisson arrivals at `rate_per_sec` > 0.
+std::unique_ptr<ArrivalProcess> MakePoissonArrivals(double rate_per_sec);
+
+// Two-phase Markov-modulated Poisson process. Phases have exponentially
+// distributed durations (means `mean_on_us` / `mean_off_us`); arrivals are
+// Poisson at `on_rate_per_sec` during the on phase and `off_rate_per_sec`
+// (>= 0, may be 0 for strict silence) during the off phase. The process
+// starts in the on phase.
+std::unique_ptr<ArrivalProcess> MakeOnOffArrivals(double on_rate_per_sec,
+                                                  double off_rate_per_sec,
+                                                  double mean_on_us,
+                                                  double mean_off_us);
+
+}  // namespace unicc
+
+#endif  // UNICC_WORKLOAD_ARRIVAL_H_

@@ -1,10 +1,17 @@
-// Workload trace record/replay: serialize a generated arrival schedule to a
-// portable text format and load it back, so experiments can be re-run on
-// the exact same workload across engine configurations or library versions.
+// Workload trace record/replay: serialize a generated arrival schedule and
+// load it back, so experiments can be re-run on the exact same workload
+// across engine configurations or library versions.
 //
-// Format (one record per line):
-//   txn <id> <when_us> <home> <protocol> <compute_us> <backoff_interval>
-//       r <item>... w <item>...
+// Three encodings:
+//  - Text (editable, diffable), one record per line:
+//      txn <id> <when_us> <home> <protocol> <compute_us> <backoff_interval>
+//          r <item>... w <item>...
+//  - Binary (compact, versioned): little-endian, magic "UCTB" + format
+//    version + record count, then fixed headers followed by the item ids.
+//    The version field lets future releases evolve the record layout while
+//    still reading old traces.
+//  - CSV export (analysis-friendly, write-only): one row per transaction
+//    with ';'-separated access sets, for spreadsheets/pandas.
 #ifndef UNICC_WORKLOAD_TRACE_H_
 #define UNICC_WORKLOAD_TRACE_H_
 
@@ -18,16 +25,38 @@ namespace unicc {
 
 class WorkloadTrace {
  public:
+  // Current binary format version written by SerializeBinary.
+  static constexpr std::uint16_t kBinaryVersion = 1;
+
   // Serializes arrivals to the trace text format.
   static std::string Serialize(
       const std::vector<WorkloadGenerator::Arrival>& arrivals);
 
-  // Parses a trace; rejects malformed input.
+  // Parses a text trace; rejects malformed input.
   static StatusOr<std::vector<WorkloadGenerator::Arrival>> Parse(
       const std::string& text);
 
-  // Convenience file helpers.
+  // Serializes arrivals to the versioned binary format.
+  static std::string SerializeBinary(
+      const std::vector<WorkloadGenerator::Arrival>& arrivals);
+
+  // Parses a binary trace; rejects bad magic, unknown versions and
+  // truncated or trailing bytes.
+  static StatusOr<std::vector<WorkloadGenerator::Arrival>> ParseBinary(
+      const std::string& bytes);
+
+  // CSV export with a header row:
+  //   txn_id,arrival_us,home,protocol,compute_us,backoff_interval,reads,writes
+  // where reads/writes are ';'-joined item ids (empty cell when none).
+  static std::string ExportCsv(
+      const std::vector<WorkloadGenerator::Arrival>& arrivals);
+
+  // Convenience file helpers. WriteFile emits text; WriteBinaryFile emits
+  // the binary format; ReadFile sniffs the magic and accepts either.
   static Status WriteFile(
+      const std::string& path,
+      const std::vector<WorkloadGenerator::Arrival>& arrivals);
+  static Status WriteBinaryFile(
       const std::string& path,
       const std::vector<WorkloadGenerator::Arrival>& arrivals);
   static StatusOr<std::vector<WorkloadGenerator::Arrival>> ReadFile(

@@ -1,0 +1,84 @@
+#!/usr/bin/env python3
+"""Checks internal links in the repo's markdown docs.
+
+Scans the given markdown files (default: README.md and docs/*.md) for
+inline links `[text](target)`. Relative targets must exist on disk;
+`#anchor` fragments pointing into a markdown file must match one of its
+headings (GitHub slug rules: lowercase, punctuation stripped, spaces to
+dashes). External http(s)/mailto links are not fetched.
+
+Exit status 0 iff every link resolves. Used by the CI docs job so shipped
+documentation cannot rot silently.
+"""
+
+import re
+import sys
+from pathlib import Path
+
+LINK_RE = re.compile(r"\[[^\]]*\]\(([^)\s]+)\)")
+HEADING_RE = re.compile(r"^#{1,6}\s+(.*)$", re.MULTILINE)
+
+
+def github_slug(heading: str) -> str:
+    text = re.sub(r"[`*]", "", heading.strip().lower())
+    text = re.sub(r"[^\w\- ]", "", text)
+    return text.replace(" ", "-")
+
+
+def anchors_of(md_path: Path) -> set:
+    anchors = set()
+    for match in HEADING_RE.finditer(md_path.read_text(encoding="utf-8")):
+        anchors.add(github_slug(match.group(1)))
+    return anchors
+
+
+def check_file(md_path: Path, repo_root: Path) -> list:
+    errors = []
+    text = md_path.read_text(encoding="utf-8")
+    for match in LINK_RE.finditer(text):
+        target = match.group(1)
+        if target.startswith(("http://", "https://", "mailto:")):
+            continue
+        path_part, _, fragment = target.partition("#")
+        if path_part:
+            resolved = (md_path.parent / path_part).resolve()
+            try:
+                resolved.relative_to(repo_root.resolve())
+            except ValueError:
+                errors.append(f"{md_path}: link escapes the repo: {target}")
+                continue
+            if not resolved.exists():
+                errors.append(f"{md_path}: broken link: {target}")
+                continue
+        else:
+            resolved = md_path
+        if fragment and resolved.suffix == ".md":
+            if fragment not in anchors_of(resolved):
+                errors.append(f"{md_path}: missing anchor: {target}")
+    return errors
+
+
+def main(argv: list) -> int:
+    repo_root = Path(__file__).resolve().parent.parent
+    if len(argv) > 1:
+        files = [Path(a) for a in argv[1:]]
+    else:
+        files = [repo_root / "README.md"] + sorted(
+            (repo_root / "docs").glob("*.md")
+        )
+    all_errors = []
+    checked = 0
+    for f in files:
+        if not f.exists():
+            all_errors.append(f"{f}: file not found")
+            continue
+        checked += 1
+        all_errors.extend(check_file(f, repo_root))
+    for error in all_errors:
+        print(error, file=sys.stderr)
+    print(f"check_links: {checked} files, {len(all_errors)} broken links")
+    return 1 if all_errors else 0
+
+
+if __name__ == "__main__":
+    sys.exit(main(sys.argv))

@@ -6,21 +6,30 @@
 // BENCH_e*.json files so the performance trajectory of the repo can be
 // tracked across PRs.
 //
+// Besides the built-in grids, any declarative scenario file can be swept
+// over any of its keys: --scenario=FILE turns the scenario into the base
+// cell and each --sweep=SECTION.KEY=V1,V2,... adds a grid axis (the cross
+// product of all axes is run).
+//
 //   sweep_runner                         # run every experiment
 //   sweep_runner --exp=e1,e5             # just E1 and E5
 //   sweep_runner --threads=8 --txns=200  # faster, coarser sweep
 //   sweep_runner --out-dir=results/      # where BENCH_e*.json go
+//   sweep_runner --scenario=scenarios/bursty.ini
+//       --sweep='class burst.rate=60,120,240' --sweep=engine.seed=1,2,3
 #include <algorithm>
 #include <atomic>
 #include <cstdio>
 #include <cstdlib>
 #include <cstring>
 #include <filesystem>
+#include <functional>
 #include <string>
 #include <thread>
 #include <vector>
 
 #include "bench_util.h"
+#include "scenario/scenario.h"
 
 namespace {
 
@@ -70,18 +79,6 @@ struct Experiment {
   std::vector<Cell> cells;
 };
 
-const char* ShortProtocolName(Protocol p) {
-  switch (p) {
-    case Protocol::kTwoPhaseLocking:
-      return "2pl";
-    case Protocol::kTimestampOrdering:
-      return "to";
-    case Protocol::kPrecedenceAgreement:
-      return "pa";
-  }
-  return "?";
-}
-
 // Appends one cell per protocol for a pure-backend baseline sweep.
 void AddPureProtocolCells(Experiment* exp, const BenchConfig& base,
                           std::vector<Param> params) {
@@ -90,7 +87,8 @@ void AddPureProtocolCells(Experiment* exp, const BenchConfig& base,
         Protocol::kPrecedenceAgreement}) {
     Cell cell;
     cell.params = params;
-    cell.params.push_back(StrParam("protocol", ShortProtocolName(p)));
+    cell.params.push_back(
+        StrParam("protocol", std::string(ProtocolToken(p))));
     cell.cfg = base;
     cell.cfg.backend = BackendKind::kPure;
     cell.policy = PolicyKind::kFixed;
@@ -186,19 +184,21 @@ Experiment MakeE9(std::uint64_t txns) {
 // Worker pool
 // ---------------------------------------------------------------------------
 
-// Runs every cell of `cells` across `num_threads` workers. Cells are
-// claimed from a shared atomic cursor, so long cells do not stall short
-// ones behind a static partition.
-std::vector<RunStats> RunCells(const std::vector<Cell>& cells,
-                               unsigned num_threads) {
-  std::vector<RunStats> results(cells.size());
+// Runs `count` cells across `num_threads` workers, one full engine
+// simulation per cell via `run_cell`. Cells are claimed from a shared
+// atomic cursor, so long cells do not stall short ones behind a static
+// partition.
+std::vector<RunStats> RunIndexed(
+    std::size_t count, unsigned num_threads,
+    const std::function<RunStats(std::size_t)>& run_cell) {
+  std::vector<RunStats> results(count);
   std::atomic<std::size_t> next{0};
 
   auto worker = [&] {
     for (;;) {
       const std::size_t i = next.fetch_add(1, std::memory_order_relaxed);
-      if (i >= cells.size()) return;
-      results[i] = RunOne(cells[i].cfg, cells[i].policy, cells[i].fixed);
+      if (i >= count) return;
+      results[i] = run_cell(i);
     }
   };
 
@@ -216,8 +216,15 @@ std::vector<RunStats> RunCells(const std::vector<Cell>& cells,
 void WriteJsonString(std::FILE* f, const std::string& s) {
   std::fputc('"', f);
   for (char c : s) {
-    if (c == '"' || c == '\\') std::fputc('\\', f);
-    std::fputc(c, f);
+    const unsigned char u = static_cast<unsigned char>(c);
+    if (c == '"' || c == '\\') {
+      std::fputc('\\', f);
+      std::fputc(c, f);
+    } else if (u < 0x20) {  // raw control chars are illegal in JSON
+      std::fprintf(f, "\\u%04x", u);
+    } else {
+      std::fputc(c, f);
+    }
   }
   std::fputc('"', f);
 }
@@ -225,39 +232,41 @@ void WriteJsonString(std::FILE* f, const std::string& s) {
 // Writes one experiment's results as BENCH_<id>.json. Schema per cell:
 // the grid parameters plus throughput [tx/s], abort_rate (aborts per
 // admitted attempt), mean/p95 response time [ms] and raw counters.
-bool WriteReport(const Experiment& exp, const std::vector<RunStats>& results,
+bool WriteReport(const std::string& id, const std::string& description,
+                 const std::vector<std::vector<Param>>& cell_params,
+                 const std::vector<RunStats>& results,
                  const std::string& out_dir, unsigned num_threads,
                  std::uint64_t txns) {
-  const std::string path = out_dir + "/BENCH_" + exp.id + ".json";
+  const std::string path = out_dir + "/BENCH_" + id + ".json";
   std::FILE* f = std::fopen(path.c_str(), "w");
   if (f == nullptr) {
     std::fprintf(stderr, "sweep_runner: cannot open %s\n", path.c_str());
     return false;
   }
   std::fprintf(f, "{\n  \"experiment\": ");
-  WriteJsonString(f, exp.id);
+  WriteJsonString(f, id);
   std::fprintf(f, ",\n  \"description\": ");
-  WriteJsonString(f, exp.description);
+  WriteJsonString(f, description);
   std::fprintf(f,
                ",\n  \"generated_by\": \"sweep_runner\","
                "\n  \"threads\": %u,\n  \"txns_per_cell\": %llu,"
                "\n  \"cells\": [\n",
                num_threads, static_cast<unsigned long long>(txns));
-  for (std::size_t i = 0; i < exp.cells.size(); ++i) {
-    const Cell& cell = exp.cells[i];
+  for (std::size_t i = 0; i < cell_params.size(); ++i) {
+    const std::vector<Param>& params = cell_params[i];
     const RunStats& s = results[i];
     const double aborts = static_cast<double>(s.deadlock_victims) +
                           static_cast<double>(s.reject_restarts);
     const double attempts = static_cast<double>(s.committed) + aborts;
     std::fprintf(f, "    {\n      \"params\": {");
-    for (std::size_t p = 0; p < cell.params.size(); ++p) {
+    for (std::size_t p = 0; p < params.size(); ++p) {
       if (p != 0) std::fprintf(f, ", ");
-      WriteJsonString(f, cell.params[p].key);
+      WriteJsonString(f, params[p].key);
       std::fprintf(f, ": ");
-      if (cell.params[p].is_number) {
-        std::fprintf(f, "%g", cell.params[p].num_value);
+      if (params[p].is_number) {
+        std::fprintf(f, "%g", params[p].num_value);
       } else {
-        WriteJsonString(f, cell.params[p].str_value);
+        WriteJsonString(f, params[p].str_value);
       }
     }
     std::fprintf(f, "},\n");
@@ -277,13 +286,128 @@ bool WriteReport(const Experiment& exp, const std::vector<RunStats>& results,
     std::fprintf(f, "      \"msgs_per_txn\": %.4f,\n", s.msgs_per_txn);
     std::fprintf(f, "      \"serializable\": %s\n",
                  s.serializable ? "true" : "false");
-    std::fprintf(f, "    }%s\n", i + 1 == exp.cells.size() ? "" : ",");
+    std::fprintf(f, "    }%s\n", i + 1 == cell_params.size() ? "" : ",");
   }
   std::fprintf(f, "  ]\n}\n");
   std::fclose(f);
   std::printf("sweep_runner: wrote %s (%zu cells)\n", path.c_str(),
-              exp.cells.size());
+              cell_params.size());
   return true;
+}
+
+// ---------------------------------------------------------------------------
+// Scenario grids: sweep any key of a declarative scenario file
+// ---------------------------------------------------------------------------
+
+// One --sweep axis: a scenario key plus its candidate values, written
+// SECTION.KEY=V1,V2,... (the key's section may contain spaces, e.g.
+// --sweep='class burst.rate=60,120').
+struct SweepAxis {
+  std::string section;
+  std::string key;
+  std::vector<std::string> values;
+};
+
+bool ParseSweepAxis(const std::string& spec, SweepAxis* axis) {
+  const std::size_t eq = spec.find('=');
+  if (eq == std::string::npos) return false;
+  const std::string path = spec.substr(0, eq);
+  const std::size_t dot = path.rfind('.');
+  if (dot == std::string::npos || dot == 0 || dot + 1 == path.size()) {
+    return false;
+  }
+  axis->section = path.substr(0, dot);
+  axis->key = path.substr(dot + 1);
+  axis->values.clear();
+  std::size_t pos = eq + 1;
+  while (pos <= spec.size()) {
+    std::size_t comma = spec.find(',', pos);
+    if (comma == std::string::npos) comma = spec.size();
+    if (comma == pos) return false;  // empty value
+    axis->values.push_back(spec.substr(pos, comma - pos));
+    pos = comma + 1;
+  }
+  return !axis->values.empty();
+}
+
+Param AxisParam(const SweepAxis& axis, const std::string& value) {
+  char* end = nullptr;
+  const double num = std::strtod(value.c_str(), &end);
+  const std::string key = axis.section + "." + axis.key;
+  if (end != value.c_str() && *end == '\0') return NumParam(key, num);
+  return StrParam(key, value);
+}
+
+// Expands the cross product of all sweep axes over the base scenario and
+// runs one engine simulation per combination. Every combination must
+// still pass full scenario validation.
+int RunScenarioSweep(const std::string& scenario_path,
+                     const std::vector<std::string>& sweep_specs,
+                     const std::string& report_id, const std::string& out_dir,
+                     unsigned num_threads) {
+  auto ini = IniFile::ReadFile(scenario_path);
+  if (!ini.ok()) {
+    std::fprintf(stderr, "sweep_runner: %s: %s\n", scenario_path.c_str(),
+                 ini.status().ToString().c_str());
+    return 2;
+  }
+  std::vector<SweepAxis> axes;
+  for (const std::string& spec : sweep_specs) {
+    SweepAxis axis;
+    if (!ParseSweepAxis(spec, &axis)) {
+      std::fprintf(stderr,
+                   "sweep_runner: bad --sweep '%s' "
+                   "(expected SECTION.KEY=V1,V2,...)\n",
+                   spec.c_str());
+      return 2;
+    }
+    axes.push_back(std::move(axis));
+  }
+
+  std::size_t total = 1;
+  for (const SweepAxis& axis : axes) total *= axis.values.size();
+
+  std::vector<ScenarioSpec> specs;
+  std::vector<std::vector<Param>> cell_params;
+  specs.reserve(total);
+  cell_params.reserve(total);
+  for (std::size_t c = 0; c < total; ++c) {
+    IniFile cell = *ini;
+    std::vector<Param> params;
+    std::size_t rest = c;
+    for (const SweepAxis& axis : axes) {
+      const std::string& value = axis.values[rest % axis.values.size()];
+      rest /= axis.values.size();
+      cell.Set(axis.section, axis.key, value);
+      params.push_back(AxisParam(axis, value));
+    }
+    auto spec = ScenarioSpec::FromIni(cell);
+    if (!spec.ok()) {
+      std::fprintf(stderr, "sweep_runner: cell %zu of %s: %s\n", c,
+                   scenario_path.c_str(), spec.status().ToString().c_str());
+      return 2;
+    }
+    specs.push_back(std::move(*spec));
+    cell_params.push_back(std::move(params));
+  }
+
+  std::printf("sweep_runner: %zu scenario cells (%zu axes) on %u threads\n",
+              total, axes.size(), num_threads);
+  const std::vector<RunStats> results =
+      RunIndexed(total, num_threads, [&specs](std::size_t i) {
+        return RunScenario(specs[i]);
+      });
+
+  std::string description = specs[0].name.empty()
+                                ? ("scenario sweep over " + scenario_path)
+                                : ("scenario sweep over " + specs[0].name);
+  if (!specs[0].description.empty()) {
+    description += ": " + specs[0].description;
+  }
+  return WriteReport(report_id, description, cell_params, results, out_dir,
+                     num_threads, specs[0].TotalTxns())
+             ? 0
+             : 1;
 }
 
 bool ParseFlag(const char* arg, const char* name, std::string* out) {
@@ -313,8 +437,18 @@ void PrintHelp() {
       "experiment grids\n"
       "  --exp=e1,e2,e5,e9   comma list of experiments (default: all)\n"
       "  --threads=<n>       worker threads (default: hardware, min 4)\n"
-      "  --txns=<n>          transactions per cell (default: 300)\n"
-      "  --out-dir=<dir>     output directory for BENCH_e*.json (default .)");
+      "  --txns=<n>          transactions per cell (default: 300;\n"
+      "                      built-in grids only)\n"
+      "  --out-dir=<dir>     output directory for BENCH_*.json (default .)\n"
+      "  --scenario=<file>   sweep a declarative scenario file instead of\n"
+      "                      the built-in grids (see docs/scenarios.md);\n"
+      "                      excludes --exp/--txns\n"
+      "  --sweep=SECTION.KEY=V1,V2,...  add one grid axis over a scenario\n"
+      "                      key (repeatable; cross product of all axes;\n"
+      "                      e.g. --sweep='class burst.rate=60,120'\n"
+      "                      or --sweep=engine.seed=1,2,3)\n"
+      "  --id=<name>         report name for scenario sweeps: writes\n"
+      "                      BENCH_<name>.json (default: scenario)");
 }
 
 }  // namespace
@@ -322,7 +456,11 @@ void PrintHelp() {
 int main(int argc, char** argv) {
   std::string exp_list;
   std::string out_dir = ".";
+  std::string scenario_path;
+  std::string report_id = "scenario";
+  std::vector<std::string> sweep_specs;
   std::uint64_t txns = 300;
+  bool txns_set = false;
   unsigned num_threads = std::max(4u, std::thread::hardware_concurrency());
   for (int i = 1; i < argc; ++i) {
     std::string v;
@@ -331,16 +469,44 @@ int main(int argc, char** argv) {
       PrintHelp();
       return 0;
     } else if (ParseFlag(a, "--exp", &exp_list) ||
-               ParseFlag(a, "--out-dir", &out_dir)) {
+               ParseFlag(a, "--out-dir", &out_dir) ||
+               ParseFlag(a, "--scenario", &scenario_path) ||
+               ParseFlag(a, "--id", &report_id)) {
+    } else if (ParseFlag(a, "--sweep", &v)) {
+      sweep_specs.push_back(v);
     } else if (ParseFlag(a, "--threads", &v)) {
       const long n = std::strtol(v.c_str(), nullptr, 10);
       num_threads = n < 1 ? 1u : static_cast<unsigned>(n);
     } else if (ParseFlag(a, "--txns", &v)) {
       txns = std::strtoull(v.c_str(), nullptr, 10);
+      txns_set = true;
     } else {
       std::fprintf(stderr, "unknown flag '%s' (try --help)\n", a);
       return 2;
     }
+  }
+
+  std::error_code dir_ec;
+  std::filesystem::create_directories(out_dir, dir_ec);
+  if (dir_ec) {
+    std::fprintf(stderr, "sweep_runner: cannot create %s: %s\n",
+                 out_dir.c_str(), dir_ec.message().c_str());
+    return 2;
+  }
+
+  if (!scenario_path.empty()) {
+    if (!exp_list.empty() || txns_set) {
+      std::fprintf(stderr,
+                   "sweep_runner: --scenario excludes --exp/--txns (the "
+                   "scenario file defines the workload)\n");
+      return 2;
+    }
+    return RunScenarioSweep(scenario_path, sweep_specs, report_id, out_dir,
+                            num_threads);
+  }
+  if (!sweep_specs.empty()) {
+    std::fprintf(stderr, "sweep_runner: --sweep requires --scenario\n");
+    return 2;
   }
 
   std::vector<Experiment> experiments;
@@ -351,14 +517,6 @@ int main(int argc, char** argv) {
   if (experiments.empty()) {
     std::fprintf(stderr, "no experiments selected from '%s'\n",
                  exp_list.c_str());
-    return 2;
-  }
-
-  std::error_code ec;
-  std::filesystem::create_directories(out_dir, ec);
-  if (ec) {
-    std::fprintf(stderr, "sweep_runner: cannot create %s: %s\n",
-                 out_dir.c_str(), ec.message().c_str());
     return 2;
   }
 
@@ -374,14 +532,25 @@ int main(int argc, char** argv) {
   std::printf("sweep_runner: %zu cells across %zu experiments on %u threads\n",
               all_cells.size(), experiments.size(), num_threads);
 
-  const std::vector<RunStats> results = RunCells(all_cells, num_threads);
+  const std::vector<RunStats> results =
+      RunIndexed(all_cells.size(), num_threads, [&all_cells](std::size_t i) {
+        return RunOne(all_cells[i].cfg, all_cells[i].policy,
+                      all_cells[i].fixed);
+      });
 
   bool ok = true;
   for (std::size_t e = 0; e < experiments.size(); ++e) {
     const auto [begin, end] = ranges[e];
     const std::vector<RunStats> slice(results.begin() + begin,
                                         results.begin() + end);
-    ok = WriteReport(experiments[e], slice, out_dir, num_threads, txns) && ok;
+    std::vector<std::vector<Param>> cell_params;
+    cell_params.reserve(end - begin);
+    for (std::size_t c = begin; c < end; ++c) {
+      cell_params.push_back(all_cells[c].params);
+    }
+    ok = WriteReport(experiments[e].id, experiments[e].description,
+                     cell_params, slice, out_dir, num_threads, txns) &&
+         ok;
   }
   return ok ? 0 : 1;
 }

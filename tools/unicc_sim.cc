@@ -4,6 +4,9 @@
 //
 //   unicc_sim --protocol=pa --lambda=80 --txns=500 --items=60 --seed=7
 //   unicc_sim --policy=minstl --lambda=120 --read-fraction=0.3 --verbose
+//   unicc_sim --scenario=scenarios/bursty.ini --verbose
+//   unicc_sim --scenario=scenarios/quickstart.ini --record-trace=run.trace
+//   unicc_sim --replay-trace=run.trace --policy=trace
 //
 // Run with --help for the full flag list.
 #include <cstdio>
@@ -11,18 +14,21 @@
 #include <cstring>
 #include <memory>
 #include <string>
+#include <utility>
 
 #include "engine/engine.h"
+#include "scenario/scenario.h"
 #include "selector/selector.h"
 #include "stl/estimators.h"
 #include "workload/generator.h"
+#include "workload/trace.h"
 
 namespace {
 
 using namespace unicc;
 
 struct Flags {
-  std::string policy = "fixed";  // fixed | mix | minstl | minavg
+  std::string policy = "fixed";  // fixed | mix | minstl | minavg | trace
   std::string protocol = "2pl";  // for --policy=fixed
   double lambda = 40;
   std::uint64_t txns = 500;
@@ -42,13 +48,24 @@ struct Flags {
   bool semi_locks = true;
   bool unified = true;
   std::uint64_t seed = 42;
+  bool seed_set = false;
   bool verbose = false;
+  std::string scenario;      // --scenario=FILE
+  std::string record_trace;  // --record-trace=FILE
+  std::string replay_trace;  // --replay-trace=FILE
+  std::string export_csv;    // --export-csv=FILE
 };
 
 void PrintHelp() {
   std::puts(
       "unicc_sim: run one unified-concurrency-control simulation\n"
-      "  --policy=fixed|mix|minstl|minavg   protocol policy (fixed)\n"
+      "  --scenario=<file>   load engine, policy and workload from a\n"
+      "                      declarative scenario file (see\n"
+      "                      docs/scenarios.md); overrides every workload/\n"
+      "                      engine flag below except --seed\n"
+      "  --policy=fixed|mix|minstl|minavg|trace  protocol policy (fixed);\n"
+      "                      'trace' uses each transaction's recorded\n"
+      "                      protocol verbatim\n"
       "  --protocol=2pl|to|pa               protocol for --policy=fixed\n"
       "  --lambda=<tx/s>     arrival rate (40)\n"
       "  --txns=<n>          transactions (500)\n"
@@ -66,7 +83,14 @@ void PrintHelp() {
       "  --detector=central|probe|none      deadlock detection (central)\n"
       "  --no-semi-locks     lock-everything ablation\n"
       "  --pure              pure per-protocol backend (needs fixed policy)\n"
-      "  --seed=<n>          RNG seed (42)\n"
+      "  --seed=<n>          RNG seed (42); also overrides the scenario's\n"
+      "                      [engine] seed\n"
+      "  --record-trace=<file>  write the admitted workload as a trace\n"
+      "                      (binary when the name ends in .bin, else text)\n"
+      "  --replay-trace=<file>  read the workload from a recorded trace\n"
+      "                      (text or binary, auto-detected) instead of\n"
+      "                      generating it\n"
+      "  --export-csv=<file>    write the workload as CSV for analysis\n"
       "  --verbose           print per-protocol metrics and STL estimates");
 }
 
@@ -80,11 +104,15 @@ bool ParseFlag(const char* arg, const char* name, std::string* out) {
 }
 
 Protocol ParseProtocol(const std::string& s) {
-  if (s == "2pl") return Protocol::kTwoPhaseLocking;
-  if (s == "to") return Protocol::kTimestampOrdering;
-  if (s == "pa") return Protocol::kPrecedenceAgreement;
+  Protocol p;
+  if (ParseProtocolToken(s, &p)) return p;
   std::fprintf(stderr, "unknown protocol '%s'\n", s.c_str());
   std::exit(2);
+}
+
+bool EndsWith(const std::string& s, const std::string& suffix) {
+  return s.size() >= suffix.size() &&
+         s.compare(s.size() - suffix.size(), suffix.size(), suffix) == 0;
 }
 
 }  // namespace
@@ -106,7 +134,11 @@ int main(int argc, char** argv) {
       pure = true;
     } else if (ParseFlag(a, "--policy", &flags.policy) ||
                ParseFlag(a, "--protocol", &flags.protocol) ||
-               ParseFlag(a, "--detector", &flags.detector)) {
+               ParseFlag(a, "--detector", &flags.detector) ||
+               ParseFlag(a, "--scenario", &flags.scenario) ||
+               ParseFlag(a, "--record-trace", &flags.record_trace) ||
+               ParseFlag(a, "--replay-trace", &flags.replay_trace) ||
+               ParseFlag(a, "--export-csv", &flags.export_csv)) {
     } else if (ParseFlag(a, "--lambda", &v)) {
       flags.lambda = std::atof(v.c_str());
     } else if (ParseFlag(a, "--txns", &v)) {
@@ -137,35 +169,132 @@ int main(int argc, char** argv) {
       flags.skew_ms = std::atof(v.c_str());
     } else if (ParseFlag(a, "--seed", &v)) {
       flags.seed = std::strtoull(v.c_str(), nullptr, 10);
+      flags.seed_set = true;
     } else {
       std::fprintf(stderr, "unknown flag '%s' (try --help)\n", a);
       return 2;
     }
   }
 
+  // Resolve the run configuration: a scenario file provides everything;
+  // otherwise the individual flags assemble an equivalent spec.
   EngineOptions eo;
-  eo.num_user_sites = flags.user_sites;
-  eo.num_data_sites = flags.data_sites;
-  eo.num_items = flags.items;
-  eo.replication = flags.replication;
-  eo.network.base_delay = static_cast<Duration>(flags.delay_ms * 1000);
-  eo.network.jitter_mean = static_cast<Duration>(flags.jitter_ms * 1000);
-  eo.max_clock_skew = static_cast<Duration>(flags.skew_ms * 1000);
-  eo.semi_locks = flags.semi_locks;
-  eo.seed = flags.seed;
-  eo.backend = pure ? BackendKind::kPure : BackendKind::kUnified;
-  eo.pure_protocol = ParseProtocol(flags.protocol);
-  if (flags.detector == "none") {
-    eo.detector = DetectorKind::kNone;
-  } else if (flags.detector == "probe") {
-    eo.detector = DetectorKind::kProbe;
+  ScenarioPolicy policy;
+  ScenarioSpec scenario;
+  const bool from_scenario = !flags.scenario.empty();
+  if (from_scenario) {
+    auto loaded = ScenarioSpec::LoadFile(flags.scenario);
+    if (!loaded.ok()) {
+      std::fprintf(stderr, "%s: %s\n", flags.scenario.c_str(),
+                   loaded.status().ToString().c_str());
+      return 2;
+    }
+    scenario = std::move(*loaded);
+    if (flags.seed_set) scenario.engine.seed = flags.seed;
+    eo = scenario.engine;
+    policy = scenario.policy;
   } else {
-    eo.detector = DetectorKind::kCentral;
+    eo.num_user_sites = flags.user_sites;
+    eo.num_data_sites = flags.data_sites;
+    eo.num_items = flags.items;
+    eo.replication = flags.replication;
+    eo.network.base_delay = static_cast<Duration>(flags.delay_ms * 1000);
+    eo.network.jitter_mean = static_cast<Duration>(flags.jitter_ms * 1000);
+    eo.max_clock_skew = static_cast<Duration>(flags.skew_ms * 1000);
+    eo.semi_locks = flags.semi_locks;
+    eo.seed = flags.seed;
+    eo.backend = pure ? BackendKind::kPure : BackendKind::kUnified;
+    eo.pure_protocol = ParseProtocol(flags.protocol);
+    if (flags.detector == "none") {
+      eo.detector = DetectorKind::kNone;
+    } else if (flags.detector == "probe") {
+      eo.detector = DetectorKind::kProbe;
+    } else {
+      eo.detector = DetectorKind::kCentral;
+    }
+    if (flags.policy == "fixed") {
+      policy.kind = ScenarioPolicy::Kind::kFixed;
+      policy.fixed = ParseProtocol(flags.protocol);
+    } else if (flags.policy == "mix") {
+      policy.kind = ScenarioPolicy::Kind::kMix;
+    } else if (flags.policy == "minstl") {
+      policy.kind = ScenarioPolicy::Kind::kMinStl;
+    } else if (flags.policy == "minavg") {
+      policy.kind = ScenarioPolicy::Kind::kMinAvgTime;
+    } else if (flags.policy == "trace") {
+      policy.kind = ScenarioPolicy::Kind::kTrace;
+    } else {
+      std::fprintf(stderr, "unknown policy '%s'\n", flags.policy.c_str());
+      return 2;
+    }
   }
   if (auto s = eo.Validate(); !s.ok()) {
     std::fprintf(stderr, "invalid configuration: %s\n",
                  s.ToString().c_str());
     return 2;
+  }
+
+  // The workload: replayed from a trace, built by the scenario, or drawn
+  // from the flag-configured generator.
+  std::vector<WorkloadGenerator::Arrival> arrivals;
+  std::shared_ptr<std::unordered_set<TxnId>> forced;
+  if (!flags.replay_trace.empty()) {
+    auto loaded = WorkloadTrace::ReadFile(flags.replay_trace);
+    if (!loaded.ok()) {
+      std::fprintf(stderr, "%s: %s\n", flags.replay_trace.c_str(),
+                   loaded.status().ToString().c_str());
+      return 2;
+    }
+    arrivals = std::move(*loaded);
+    if (from_scenario) {
+      // The trace carries no class information; regenerate the scenario's
+      // forced-protocol ids so replaying its own recording reproduces the
+      // original run bit-for-bit (ids line up because generation is
+      // deterministic in the seed).
+      forced = scenario.BuildWorkload().forced;
+    }
+  } else if (from_scenario) {
+    ScenarioSpec::Workload wl = scenario.BuildWorkload();
+    arrivals = std::move(wl.arrivals);
+    forced = std::move(wl.forced);
+  } else {
+    WorkloadOptions wo;
+    wo.arrival_rate_per_sec = flags.lambda;
+    wo.num_txns = flags.txns;
+    wo.size_min = flags.size_min;
+    wo.size_max = flags.size_max;
+    wo.read_fraction = flags.read_fraction;
+    wo.zipf_theta = flags.zipf;
+    wo.compute_time = static_cast<Duration>(flags.compute_ms * 1000);
+    WorkloadGenerator gen(wo, flags.items, flags.user_sites,
+                          Rng(eo.seed ^ 0x5bd1e995));
+    arrivals = gen.Generate();
+  }
+
+  if (!flags.record_trace.empty()) {
+    const Status s =
+        EndsWith(flags.record_trace, ".bin")
+            ? WorkloadTrace::WriteBinaryFile(flags.record_trace, arrivals)
+            : WorkloadTrace::WriteFile(flags.record_trace, arrivals);
+    if (!s.ok()) {
+      std::fprintf(stderr, "record-trace: %s\n", s.ToString().c_str());
+      return 2;
+    }
+    std::printf("recorded %zu arrivals to %s\n", arrivals.size(),
+                flags.record_trace.c_str());
+  }
+  if (!flags.export_csv.empty()) {
+    std::FILE* f = std::fopen(flags.export_csv.c_str(), "w");
+    if (f == nullptr) {
+      std::fprintf(stderr, "export-csv: cannot open %s\n",
+                   flags.export_csv.c_str());
+      return 2;
+    }
+    const std::string csv = WorkloadTrace::ExportCsv(arrivals);
+    std::fwrite(csv.data(), 1, csv.size(), f);
+    std::fclose(f);
+    std::printf("exported %zu rows to %s\n", arrivals.size(),
+                flags.export_csv.c_str());
   }
 
   ParamEstimator estimator;
@@ -192,34 +321,43 @@ int main(int argc, char** argv) {
 
   Engine engine(eo, cb);
   std::unique_ptr<MinStlSelector> minstl;
-  if (flags.policy == "fixed") {
-    engine.SetProtocolPolicy(FixedProtocol(ParseProtocol(flags.protocol)));
-  } else if (flags.policy == "mix") {
-    engine.SetProtocolPolicy(MixedProtocol(1, 1, 1, Rng(flags.seed ^ 77)));
-  } else if (flags.policy == "minstl") {
-    minstl = std::make_unique<MinStlSelector>(&engine.simulator(),
-                                              &estimator, flags.items);
-    engine.SetProtocolPolicy(minstl->AsPolicy());
-  } else if (flags.policy == "minavg") {
-    engine.SetProtocolPolicy(minavg->AsPolicy());
-  } else {
-    std::fprintf(stderr, "unknown policy '%s'\n", flags.policy.c_str());
+  ProtocolPolicy base;
+  switch (policy.kind) {
+    case ScenarioPolicy::Kind::kFixed:
+      base = FixedProtocol(policy.fixed);
+      break;
+    case ScenarioPolicy::Kind::kMix:
+      base = MixedProtocol(policy.weights[0], policy.weights[1],
+                           policy.weights[2], Rng(eo.seed ^ 77));
+      break;
+    case ScenarioPolicy::Kind::kMinStl:
+      minstl = std::make_unique<MinStlSelector>(
+          &engine.simulator(), &estimator,
+          static_cast<std::size_t>(eo.num_items) * eo.replication);
+      base = minstl->AsPolicy();
+      break;
+    case ScenarioPolicy::Kind::kMinAvgTime:
+      base = minavg->AsPolicy();
+      break;
+    case ScenarioPolicy::Kind::kTrace:
+      base = nullptr;  // keep each spec's recorded protocol
+      break;
+  }
+  if (forced != nullptr && !forced->empty()) {
+    engine.SetProtocolPolicy(ForcedAwarePolicy(std::move(base), forced));
+  } else if (base) {
+    engine.SetProtocolPolicy(std::move(base));
+  }
+
+  if (auto s = engine.AddWorkload(arrivals); !s.ok()) {
+    std::fprintf(stderr, "workload rejected: %s\n", s.ToString().c_str());
     return 2;
   }
 
-  WorkloadOptions wo;
-  wo.arrival_rate_per_sec = flags.lambda;
-  wo.num_txns = flags.txns;
-  wo.size_min = flags.size_min;
-  wo.size_max = flags.size_max;
-  wo.read_fraction = flags.read_fraction;
-  wo.zipf_theta = flags.zipf;
-  wo.compute_time = static_cast<Duration>(flags.compute_ms * 1000);
-  WorkloadGenerator gen(wo, flags.items, flags.user_sites,
-                        Rng(flags.seed ^ 0x5bd1e995));
-  if (auto s = engine.AddWorkload(gen.Generate()); !s.ok()) {
-    std::fprintf(stderr, "workload rejected: %s\n", s.ToString().c_str());
-    return 2;
+  if (from_scenario && !scenario.name.empty()) {
+    std::printf("scenario           : %s%s%s\n", scenario.name.c_str(),
+                scenario.description.empty() ? "" : " — ",
+                scenario.description.c_str());
   }
 
   const RunSummary summary = engine.Run();
@@ -262,7 +400,7 @@ int main(int argc, char** argv) {
                   static_cast<unsigned long long>(ps.restarts));
     }
     const SystemParams sys =
-        estimator.Snapshot(engine.simulator().Now(), flags.items);
+        estimator.Snapshot(engine.simulator().Now(), eo.num_items);
     std::printf(
         "\nmeasured system parameters: lambda_A=%.1f/s lambda_r=%.3f "
         "lambda_w=%.3f Q_r=%.2f K=%.1f\n",
