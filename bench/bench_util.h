@@ -42,7 +42,12 @@ struct BenchConfig {
 struct RunStats {
   double mean_s_ms = 0;     // mean transaction system time S
   double p95_s_ms = 0;
+  std::uint64_t admitted = 0;
   std::uint64_t committed = 0;
+  SimTime makespan = 0;
+  std::uint64_t total_messages = 0;
+  std::uint64_t log_records = 0;
+  bool replicas_consistent = false;
   std::uint64_t deadlock_victims = 0;
   std::uint64_t reject_restarts = 0;
   std::uint64_t backoff_rounds = 0;
@@ -156,8 +161,22 @@ inline RunStats RunOne(const BenchConfig& cfg, PolicyKind policy,
 
 // Runs one declarative scenario to completion (sweep_runner's --scenario
 // mode and scenario-driven benches; unicc_sim wires the engine itself so
-// it can print verbose estimator state).
+// it can print verbose estimator state). The arrivals-override flavour
+// powers the golden determinism suite's record -> replay runs.
+inline RunStats RunScenarioWith(
+    const ScenarioSpec& spec,
+    const std::vector<WorkloadGenerator::Arrival>& arrivals,
+    std::shared_ptr<const std::unordered_set<TxnId>> forced);
+
 inline RunStats RunScenario(const ScenarioSpec& spec) {
+  const ScenarioSpec::Workload wl = spec.BuildWorkload();
+  return RunScenarioWith(spec, wl.arrivals, wl.forced);
+}
+
+inline RunStats RunScenarioWith(
+    const ScenarioSpec& spec,
+    const std::vector<WorkloadGenerator::Arrival>& arrivals,
+    std::shared_ptr<const std::unordered_set<TxnId>> forced) {
   auto estimator = std::make_unique<ParamEstimator>();
   ParamEstimator* est = estimator.get();
   EngineCallbacks callbacks = EstimatorCallbacks(est);
@@ -200,9 +219,9 @@ inline RunStats RunScenario(const ScenarioSpec& spec) {
       break;
   }
 
-  const ScenarioSpec::Workload wl = spec.BuildWorkload();
-  engine.SetProtocolPolicy(ForcedAwarePolicy(std::move(base), wl.forced));
-  UNICC_CHECK(engine.AddWorkload(wl.arrivals).ok());
+  engine.SetProtocolPolicy(ForcedAwarePolicy(std::move(base),
+                                             std::move(forced)));
+  UNICC_CHECK(engine.AddWorkload(arrivals).ok());
   return ExtractStats(engine, engine.Run());
 }
 
@@ -210,6 +229,11 @@ inline RunStats ExtractStats(Engine& engine, const RunSummary& summary) {
   RunStats out;
   out.mean_s_ms = engine.metrics().MeanSystemTimeMs();
   out.p95_s_ms = engine.metrics().SystemTime().PercentileMs(95);
+  out.admitted = summary.admitted;
+  out.makespan = summary.makespan;
+  out.total_messages = summary.total_messages;
+  out.log_records = engine.log().TotalRecords();
+  out.replicas_consistent = engine.ReplicasConsistent();
   out.committed = summary.committed;
   out.deadlock_victims = summary.deadlock_victims;
   out.reject_restarts = summary.reject_restarts;

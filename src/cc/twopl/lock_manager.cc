@@ -16,7 +16,7 @@ void TwoPlLockManager::OnRequest(const msg::CcRequest& m) {
   UNICC_CHECK_MSG(m.proto == Protocol::kTwoPhaseLocking,
                   "pure 2PL backend got a non-2PL request");
   UNICC_CHECK_MSG(m.copy.site == site_, "request routed to wrong site");
-  LockQueue& q = queues_[m.copy];
+  LockQueue& q = queues_.GetOrCreate(m.copy);
   q.entries.push_back(Entry{m.txn, m.attempt, m.reply_to, m.op, false});
   TryGrant(m.copy, q);
 }
@@ -38,7 +38,9 @@ void TwoPlLockManager::TryGrant(const CopyId& copy, LockQueue& q) {
     if (conflict) return;
     e.granted = true;
     ++grants_sent_;
-    if (hooks_.on_grant) hooks_.on_grant(copy, e.op, Protocol::kTwoPhaseLocking);
+    if (hooks_.on_grant) {
+      hooks_.on_grant(copy, e.op, Protocol::kTwoPhaseLocking);
+    }
     ctx_.transport->Send(
         site_, e.reply_to,
         msg::Grant{e.txn, e.attempt, copy, true, true, store_.Read(copy)});
@@ -56,9 +58,9 @@ void TwoPlLockManager::OnSemiTransform(const msg::SemiTransform&) {
 }
 
 void TwoPlLockManager::OnRelease(const msg::Release& m) {
-  auto qit = queues_.find(m.copy);
-  if (qit == queues_.end()) return;
-  LockQueue& q = qit->second;
+  LockQueue* qp = queues_.Find(m.copy);
+  if (qp == nullptr) return;
+  LockQueue& q = *qp;
   for (auto it = q.entries.begin(); it != q.entries.end(); ++it) {
     if (it->txn == m.txn && it->attempt == m.attempt) {
       UNICC_CHECK_MSG(it->granted, "release for a non-granted 2PL request");
@@ -72,9 +74,9 @@ void TwoPlLockManager::OnRelease(const msg::Release& m) {
 }
 
 void TwoPlLockManager::OnAbort(const msg::AbortTxn& m) {
-  auto qit = queues_.find(m.copy);
-  if (qit == queues_.end()) return;
-  LockQueue& q = qit->second;
+  LockQueue* qp = queues_.Find(m.copy);
+  if (qp == nullptr) return;
+  LockQueue& q = *qp;
   for (auto it = q.entries.begin(); it != q.entries.end(); ++it) {
     if (it->txn == m.txn && it->attempt == m.attempt) {
       q.entries.erase(it);

@@ -7,10 +7,10 @@
 #define UNICC_CC_TWOPL_LOCK_MANAGER_H_
 
 #include <deque>
-#include <unordered_map>
 #include <vector>
 
 #include "cc/backend.h"
+#include "common/copy_map.h"
 #include "common/types.h"
 
 namespace unicc {
@@ -50,7 +50,7 @@ class TwoPlLockManager : public DataSiteBackend {
   CcContext ctx_;
   CcHooks hooks_;
   Store store_;
-  std::unordered_map<CopyId, LockQueue> queues_;
+  CopyTable<LockQueue> queues_;
   std::uint64_t grants_sent_ = 0;
 };
 

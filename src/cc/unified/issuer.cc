@@ -28,7 +28,7 @@ void RequestIssuer::Begin(const TxnSpec& spec) {
   UNICC_CHECK_MSG(spec.Validate().ok(), "invalid transaction spec");
   UNICC_CHECK_MSG(spec.home == site_, "transaction routed to wrong issuer");
   UNICC_CHECK_MSG(!active_.contains(spec.id), "duplicate transaction id");
-  ActiveTxn t;
+  ActiveTxn t = TakeSpare();
   t.spec = spec;
   t.arrival = ctx_.sim->Now();
   t.interval = spec.backoff_interval != 0
@@ -63,8 +63,8 @@ void RequestIssuer::StartAttempt(ActiveTxn& t) {
       t.reqs.push_back(PhysReq{copy, OpType::kWrite});
     }
   }
+  t.st.assign(t.reqs.size(), ReqState{});
   for (const PhysReq& r : t.reqs) {
-    t.st.emplace(r.copy, ReqState{});
     msg::CcRequest m;
     m.txn = t.spec.id;
     m.attempt = t.attempt;
@@ -97,19 +97,20 @@ void RequestIssuer::OnGrant(const msg::Grant& m) {
     auto it = lingering_.find(m.txn);
     if (it == lingering_.end() || it->second.attempt != m.attempt) return;
     Lingering& lg = it->second;
-    auto flag = lg.normal.find(m.copy);
-    if (flag == lg.normal.end() || flag->second) return;
+    std::size_t ci = 0;
+    while (ci < lg.copies.size() && !(lg.copies[ci] == m.copy)) ++ci;
+    if (ci == lg.copies.size() || lg.normal[ci]) return;
     if (!m.normal) return;
-    flag->second = true;
+    lg.normal[ci] = 1;
     if (++lg.normals == lg.copies.size()) {
       FinishLingering(m.txn, lg);
       lingering_.erase(it);
     }
     return;
   }
-  auto it = t->st.find(m.copy);
-  if (it == t->st.end()) return;
-  ReqState& rs = it->second;
+  const std::size_t ri = t->FindReq(m.copy);
+  if (ri == t->reqs.size()) return;
+  ReqState& rs = t->st[ri];
   if (!rs.granted) {
     rs.granted = true;
     rs.grant_time = ctx_.sim->Now();
@@ -135,9 +136,9 @@ void RequestIssuer::OnBackoff(const msg::Backoff& m) {
   if (t == nullptr) return;
   UNICC_CHECK_MSG(t->spec.protocol == Protocol::kPrecedenceAgreement,
                   "back-off for a non-PA transaction");
-  auto it = t->st.find(m.copy);
-  if (it == t->st.end()) return;
-  ReqState& rs = it->second;
+  const std::size_t ri = t->FindReq(m.copy);
+  if (ri == t->reqs.size()) return;
+  ReqState& rs = t->st[ri];
   rs.backoff_offer = std::max(rs.backoff_offer, m.new_ts);
   if (!rs.responded) {
     rs.responded = true;
@@ -151,9 +152,9 @@ void RequestIssuer::OnPaAccept(const msg::PaAccept& m) {
   if (t == nullptr) return;
   UNICC_CHECK_MSG(t->spec.protocol == Protocol::kPrecedenceAgreement,
                   "PA accept for a non-PA transaction");
-  auto it = t->st.find(m.copy);
-  if (it == t->st.end()) return;
-  ReqState& rs = it->second;
+  const std::size_t ri = t->FindReq(m.copy);
+  if (ri == t->reqs.size()) return;
+  ReqState& rs = t->st[ri];
   if (!rs.responded) {
     rs.responded = true;
     ++t->responses;
@@ -188,7 +189,7 @@ void RequestIssuer::CheckProgress(ActiveTxn& t) {
   if (t.spec.protocol == Protocol::kPrecedenceAgreement && !t.negotiated &&
       t.responses == t.reqs.size() && t.grants < t.reqs.size()) {
     Timestamp max_offer = 0;
-    for (const auto& [copy, rs] : t.st) {
+    for (const ReqState& rs : t.st) {
       max_offer = std::max(max_offer, rs.backoff_offer);
     }
     t.negotiated = true;
@@ -220,7 +221,7 @@ void RequestIssuer::Execute(ActiveTxn& t) {
 void RequestIssuer::ReportLockHolds(const ActiveTxn& t, bool aborted) {
   if (!events_.on_lock_hold) return;
   const SimTime now = ctx_.sim->Now();
-  for (const auto& [copy, rs] : t.st) {
+  for (const ReqState& rs : t.st) {
     if (!rs.granted) continue;
     // Occupancy time of the request at its queue: from issue to release.
     // The STL model's U is the window during which the request denies the
@@ -231,18 +232,20 @@ void RequestIssuer::ReportLockHolds(const ActiveTxn& t, bool aborted) {
 }
 
 void RequestIssuer::Commit(ActiveTxn& t) {
-  // Assemble the values read; write-set items take the value attached to
-  // any of their copy grants.
-  std::unordered_map<ItemId, std::uint64_t> read_values;
-  for (const PhysReq& r : t.reqs) {
-    const ReqState& rs = t.st.at(r.copy);
-    if (rs.has_value && !read_values.contains(r.copy.item)) {
-      read_values[r.copy.item] = rs.value;
-    }
-  }
-  // Local computing phase output.
+  // Local computing phase output. The maps are only materialized when the
+  // transaction installed a compute function; the common path writes the
+  // transaction id and allocates nothing.
   std::unordered_map<ItemId, std::uint64_t> writes;
   if (t.compute) {
+    // Assemble the values read; write-set items take the value attached
+    // to any of their copy grants.
+    std::unordered_map<ItemId, std::uint64_t> read_values;
+    for (std::size_t i = 0; i < t.reqs.size(); ++i) {
+      const ReqState& rs = t.st[i];
+      if (rs.has_value && !read_values.contains(t.reqs[i].copy.item)) {
+        read_values[t.reqs[i].copy.item] = rs.value;
+      }
+    }
     for (auto& [item, value] : t.compute(read_values)) writes[item] = value;
   }
   auto write_value = [&](ItemId item) {
@@ -263,7 +266,8 @@ void RequestIssuer::Commit(ActiveTxn& t) {
     // grants; releases follow once one normal grant per copy arrived.
     Lingering lg;
     lg.attempt = t.attempt;
-    for (const PhysReq& r : t.reqs) {
+    for (std::size_t i = 0; i < t.reqs.size(); ++i) {
+      const PhysReq& r = t.reqs[i];
       msg::SemiTransform m;
       m.txn = t.spec.id;
       m.attempt = t.attempt;
@@ -274,8 +278,8 @@ void RequestIssuer::Commit(ActiveTxn& t) {
       }
       ctx_.transport->Send(site_, r.copy.site, m);
       lg.copies.push_back(r.copy);
-      const bool already_normal = t.st.at(r.copy).normal;
-      lg.normal.emplace(r.copy, already_normal);
+      const bool already_normal = t.st[i].normal;
+      lg.normal.push_back(already_normal ? 1 : 0);
       if (already_normal) ++lg.normals;
     }
     ++semi_commits_;
@@ -290,7 +294,7 @@ void RequestIssuer::Commit(ActiveTxn& t) {
     ++commits_;
     const TxnId id = t.spec.id;
     lingering_.emplace(id, std::move(lg));
-    active_.erase(id);
+    Recycle(id);
     if (events_.on_commit) events_.on_commit(result);
     // The lingering releases may already be complete (all normal).
     auto it = lingering_.find(id);
@@ -322,8 +326,39 @@ void RequestIssuer::Commit(ActiveTxn& t) {
   result.backoffs = t.backoff_rounds;
   result.num_requests = t.reqs.size();
   ++commits_;
-  active_.erase(t.spec.id);
+  Recycle(t.spec.id);
   if (events_.on_commit) events_.on_commit(result);
+}
+
+RequestIssuer::ActiveTxn RequestIssuer::TakeSpare() {
+  if (spare_.empty()) return ActiveTxn{};
+  ActiveTxn t = std::move(spare_.back());
+  spare_.pop_back();
+  // Reset to a fresh transaction, keeping the vectors' capacity.
+  t.attempt = 1;
+  t.ts = 0;
+  t.interval = 1;
+  t.reqs.clear();
+  t.st.clear();
+  t.grants = 0;
+  t.normals = 0;
+  t.responses = 0;
+  t.negotiated = false;
+  t.executing = false;
+  t.backoff_rounds = 0;
+  t.attempts_total = 1;
+  t.compute = nullptr;
+  return t;
+}
+
+void RequestIssuer::Recycle(TxnId txn) {
+  auto it = active_.find(txn);
+  if (it == active_.end()) return;
+  // The compute closure dies with the transaction, not when the spare
+  // shell is eventually reused: its captures must not outlive the commit.
+  it->second.compute = nullptr;
+  if (spare_.size() < 64) spare_.push_back(std::move(it->second));
+  active_.erase(it);
 }
 
 void RequestIssuer::FinishLingering(TxnId txn, Lingering& lg) {
@@ -387,8 +422,8 @@ std::vector<CopyId> RequestIssuer::WaitingCopies(TxnId txn) const {
   if (it != active_.end()) {
     const ActiveTxn& t = it->second;
     if (t.executing) return out;
-    for (const auto& [copy, rs] : t.st) {
-      if (!rs.granted) out.push_back(copy);
+    for (std::size_t i = 0; i < t.reqs.size(); ++i) {
+      if (!t.st[i].granted) out.push_back(t.reqs[i].copy);
     }
     return out;
   }
@@ -396,8 +431,8 @@ std::vector<CopyId> RequestIssuer::WaitingCopies(TxnId txn) const {
   // upgrades before it can release; deadlock probes must traverse it.
   auto lg = lingering_.find(txn);
   if (lg != lingering_.end()) {
-    for (const auto& [copy, normal] : lg->second.normal) {
-      if (!normal) out.push_back(copy);
+    for (std::size_t i = 0; i < lg->second.copies.size(); ++i) {
+      if (!lg->second.normal[i]) out.push_back(lg->second.copies[i]);
     }
   }
   return out;

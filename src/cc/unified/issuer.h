@@ -130,7 +130,11 @@ class RequestIssuer : public Issuer {
     Timestamp ts = 0;
     Timestamp interval = 1;
     std::vector<PhysReq> reqs;
-    std::unordered_map<CopyId, ReqState> st;
+    // Per-request state, parallel to `reqs` (copies are unique within a
+    // transaction: read/write sets are disjoint and writes of one item go
+    // to distinct copies). Transactions touch a handful of copies, so a
+    // linear scan beats a hash map and reuses its buffer across attempts.
+    std::vector<ReqState> st;
     std::size_t grants = 0;
     std::size_t normals = 0;
     std::size_t responses = 0;
@@ -139,13 +143,20 @@ class RequestIssuer : public Issuer {
     std::uint32_t backoff_rounds = 0;
     std::uint32_t attempts_total = 1;
     ComputeFn compute;
+
+    // Index of `copy` in reqs/st, or reqs.size() when absent.
+    std::size_t FindReq(const CopyId& copy) const {
+      std::size_t i = 0;
+      while (i < reqs.size() && !(reqs[i].copy == copy)) ++i;
+      return i;
+    }
   };
   // Residual state of a T/O transaction that committed via the semi-lock
   // path: still collecting normal grants before sending releases.
   struct Lingering {
     Attempt attempt = 1;
     std::vector<CopyId> copies;
-    std::unordered_map<CopyId, bool> normal;
+    std::vector<std::uint8_t> normal;  // parallel to `copies`
     std::size_t normals = 0;
   };
 
@@ -156,6 +167,10 @@ class RequestIssuer : public Issuer {
   void AbortAndRestart(ActiveTxn& t, TxnOutcome why);
   void ReportLockHolds(const ActiveTxn& t, bool aborted);
   void FinishLingering(TxnId txn, Lingering& lg);
+  // Returns a recycled ActiveTxn (vector capacities retained) when one is
+  // available; commits feed completed transactions back into the pool.
+  ActiveTxn TakeSpare();
+  void Recycle(TxnId txn);
 
   ActiveTxn* FindActive(TxnId txn, Attempt attempt);
 
@@ -170,6 +185,7 @@ class RequestIssuer : public Issuer {
   std::unordered_map<TxnId, ActiveTxn> active_;
   std::unordered_map<TxnId, Lingering> lingering_;
   std::unordered_map<TxnId, ComputeFn> pending_compute_;
+  std::vector<ActiveTxn> spare_;  // recycled scratch buffers
 
   std::uint64_t commits_ = 0;
   std::uint64_t reject_restarts_ = 0;

@@ -397,8 +397,8 @@ std::string UnifiedQueueManager::DebugString() const {
 
 const std::vector<QueueEntry>& UnifiedQueueManager::QueueOf(
     const CopyId& copy) const {
-  auto it = queues_.find(copy);
-  return it == queues_.end() ? kEmptyQueue : it->second.entries;
+  const DataQueue* q = queues_.Find(copy);
+  return q == nullptr ? kEmptyQueue : q->entries;
 }
 
 }  // namespace unicc

@@ -18,11 +18,11 @@
 #define UNICC_CC_UNIFIED_QUEUE_MANAGER_H_
 
 #include <cstdint>
-#include <unordered_map>
 #include <vector>
 
 #include "cc/backend.h"
 #include "cc/request.h"
+#include "common/copy_map.h"
 #include "common/types.h"
 
 namespace unicc {
@@ -75,7 +75,7 @@ class UnifiedQueueManager : public DataSiteBackend {
     std::uint64_t next_grant_seq = 0;
   };
 
-  DataQueue& QueueFor(const CopyId& copy) { return queues_[copy]; }
+  DataQueue& QueueFor(const CopyId& copy) { return queues_.GetOrCreate(copy); }
 
   // Inserts keeping precedence order; returns entry index.
   std::size_t Insert(DataQueue& q, QueueEntry entry);
@@ -108,7 +108,9 @@ class UnifiedQueueManager : public DataSiteBackend {
   UnifiedQmOptions options_;
   CcHooks hooks_;
   Store store_;
-  std::unordered_map<CopyId, DataQueue> queues_;
+  // Open-addressing per-copy queue table; insertion-ordered iteration
+  // keeps CollectWaitEdges() and DebugString() deterministic.
+  CopyTable<DataQueue> queues_;
 
   std::uint64_t rejects_sent_ = 0;
   std::uint64_t backoffs_sent_ = 0;

@@ -1,0 +1,128 @@
+// CopyTable<T>: an open-addressing hash table keyed by CopyId, built for
+// the per-copy queue state of the data-site backends. Compared to
+// std::unordered_map it removes the per-node allocation and pointer chase
+// on every queue lookup: the index is a flat power-of-two probe array of
+// 16-byte slots (packed key + node id), and values live in a stable,
+// insertion-ordered node arena, so references returned by GetOrCreate()
+// survive later inserts and rehashes.
+//
+// Iteration walks the arena in insertion order — deterministic across
+// runs and platforms, unlike unordered_map's bucket order, which keeps
+// wait-for-graph snapshots and debug dumps reproducible.
+//
+// Erase is deliberately unsupported: a copy's queue lives for the whole
+// run (emptied queues keep their entry capacity, which is exactly the
+// free-list reuse the hot path wants).
+#ifndef UNICC_COMMON_COPY_MAP_H_
+#define UNICC_COMMON_COPY_MAP_H_
+
+#include <cstdint>
+#include <deque>
+#include <vector>
+
+#include "common/types.h"
+
+namespace unicc {
+
+template <typename T>
+class CopyTable {
+ public:
+  struct Node {
+    CopyId key;
+    T value;
+  };
+
+  CopyTable() = default;
+
+  std::size_t size() const { return nodes_.size(); }
+  bool empty() const { return nodes_.empty(); }
+
+  // Returns the value for `key`, default-constructing it on first use.
+  // The reference is stable across later inserts.
+  T& GetOrCreate(const CopyId& key) {
+    if (slots_.empty()) Rehash(kInitialSlots);
+    const std::uint64_t packed = Pack(key);
+    const std::uint64_t mask = slots_.size() - 1;
+    std::size_t i = Mix(packed) & mask;
+    for (;;) {
+      Slot& s = slots_[i];
+      if (s.node == kNone) {
+        if ((nodes_.size() + 1) * 4 > slots_.size() * 3) {
+          Rehash(slots_.size() * 2);
+          return GetOrCreate(key);  // one level deep: table now has room
+        }
+        s.key = packed;
+        s.node = static_cast<std::uint32_t>(nodes_.size());
+        nodes_.push_back(Node{key, T{}});
+        return nodes_.back().value;
+      }
+      if (s.key == packed) return nodes_[s.node].value;
+      i = (i + 1) & mask;
+    }
+  }
+
+  const T* Find(const CopyId& key) const {
+    if (slots_.empty()) return nullptr;
+    const std::uint64_t packed = Pack(key);
+    const std::uint64_t mask = slots_.size() - 1;
+    std::size_t i = Mix(packed) & mask;
+    for (;;) {
+      const Slot& s = slots_[i];
+      if (s.node == kNone) return nullptr;
+      if (s.key == packed) return &nodes_[s.node].value;
+      i = (i + 1) & mask;
+    }
+  }
+  T* Find(const CopyId& key) {
+    return const_cast<T*>(static_cast<const CopyTable*>(this)->Find(key));
+  }
+
+  // Insertion-ordered iteration over (key, value) nodes.
+  auto begin() const { return nodes_.begin(); }
+  auto end() const { return nodes_.end(); }
+  auto begin() { return nodes_.begin(); }
+  auto end() { return nodes_.end(); }
+
+ private:
+  struct Slot {
+    std::uint64_t key = 0;
+    std::uint32_t node = kNone;
+  };
+
+  static constexpr std::uint32_t kNone = 0xffffffffu;
+  static constexpr std::size_t kInitialSlots = 16;
+
+  static std::uint64_t Pack(const CopyId& c) {
+    return (static_cast<std::uint64_t>(c.item) << 32) | c.site;
+  }
+
+  // splitmix64 finalizer: cheap, and far better dispersion over
+  // (item, site) pairs than the shift-xor hash std::hash<CopyId> uses.
+  static std::uint64_t Mix(std::uint64_t x) {
+    x ^= x >> 30;
+    x *= 0xbf58476d1ce4e5b9ULL;
+    x ^= x >> 27;
+    x *= 0x94d049bb133111ebULL;
+    x ^= x >> 31;
+    return x;
+  }
+
+  void Rehash(std::size_t new_size) {
+    slots_.assign(new_size, Slot{});
+    const std::uint64_t mask = new_size - 1;
+    for (std::size_t n = 0; n < nodes_.size(); ++n) {
+      const std::uint64_t packed = Pack(nodes_[n].key);
+      std::size_t i = Mix(packed) & mask;
+      while (slots_[i].node != kNone) i = (i + 1) & mask;
+      slots_[i].key = packed;
+      slots_[i].node = static_cast<std::uint32_t>(n);
+    }
+  }
+
+  std::vector<Slot> slots_;  // power-of-two probe array
+  std::deque<Node> nodes_;   // stable value storage, insertion order
+};
+
+}  // namespace unicc
+
+#endif  // UNICC_COMMON_COPY_MAP_H_

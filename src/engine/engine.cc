@@ -244,16 +244,25 @@ Status Engine::AddTransaction(SimTime when, TxnSpec spec) {
   }
   ++admitted_;
   stopped_ = false;
-  sim_.ScheduleAt(when, [this, spec = std::move(spec)]() mutable {
-    if (policy_) spec.protocol = policy_(spec);
-    if (options_.backend == BackendKind::kPure) {
-      UNICC_CHECK_MSG(spec.protocol == options_.pure_protocol,
-                      "pure backend cannot mix protocols");
-    }
-    txn_meta_[spec.id] = TxnMeta{spec.home, spec.protocol};
-    IssuerAt(spec.home)->Begin(spec);
-  });
+  admission_pool_.push_back(std::move(spec));
+  const std::size_t idx = admission_pool_.size() - 1;
+  sim_.ScheduleAt(when, [this, idx]() { Admit(idx); });
   return Status::OK();
+}
+
+void Engine::Admit(std::size_t pool_index) {
+  // Move the spec out so its read/write-set buffers are freed once the
+  // admission completes. The moved-out shells (a few dozen bytes each)
+  // stay in the deque until the engine dies; only the heap payload is
+  // bounded by peak in-flight admissions.
+  TxnSpec spec = std::move(admission_pool_[pool_index]);
+  if (policy_) spec.protocol = policy_(spec);
+  if (options_.backend == BackendKind::kPure) {
+    UNICC_CHECK_MSG(spec.protocol == options_.pure_protocol,
+                    "pure backend cannot mix protocols");
+  }
+  txn_meta_[spec.id] = TxnMeta{spec.home, spec.protocol};
+  IssuerAt(spec.home)->Begin(spec);
 }
 
 void Engine::SetCompute(TxnId txn, ComputeFn fn) {

@@ -7,6 +7,7 @@
 #ifndef UNICC_ENGINE_ENGINE_H_
 #define UNICC_ENGINE_ENGINE_H_
 
+#include <deque>
 #include <functional>
 #include <memory>
 #include <unordered_map>
@@ -99,6 +100,9 @@ class Engine {
 
  private:
   void BuildSites();
+  // Runs at a transaction's arrival time: applies the protocol policy and
+  // hands the pooled spec to its home issuer.
+  void Admit(std::size_t pool_index);
   void RouteToUserSite(SiteId site, SiteId from, const Message& m);
   void RouteToDataSite(SiteId site, SiteId from, const Message& m);
   void RouteToDetectorSite(SiteId from, const Message& m);
@@ -122,6 +126,10 @@ class Engine {
   std::vector<std::unique_ptr<ProbeDeadlockDetector>> probe_detectors_;
 
   ProtocolPolicy policy_;
+  // Admitted specs, batched here so each admission event captures only an
+  // index (inline in its event slot) instead of a spec copy; a deque keeps
+  // references stable while admissions are still being scheduled.
+  std::deque<TxnSpec> admission_pool_;
   // txn -> (home site, protocol): the directory used by detectors.
   struct TxnMeta {
     SiteId home;

@@ -1,5 +1,6 @@
 #include "net/transport.h"
 
+#include <algorithm>
 #include <utility>
 
 #include "common/check.h"
@@ -26,6 +27,25 @@ Duration SimTransport::DelayFor(SiteId from, SiteId to) {
   return d;
 }
 
+std::uint32_t SimTransport::AcquireNode(Message m) {
+  if (!pool_free_.empty()) {
+    const std::uint32_t node = pool_free_.back();
+    pool_free_.pop_back();
+    pool_[node] = std::move(m);
+    return node;
+  }
+  pool_.push_back(std::move(m));
+  return static_cast<std::uint32_t>(pool_.size() - 1);
+}
+
+void SimTransport::Deliver(SiteId from, SiteId to, std::uint32_t node) {
+  // Move the message out and recycle the node before invoking the handler:
+  // handlers send messages of their own, which may grow the pool.
+  Message m = std::move(pool_[node]);
+  pool_free_.push_back(node);
+  handlers_[to](from, m);
+}
+
 void SimTransport::Send(SiteId from, SiteId to, Message m) {
   UNICC_CHECK_MSG(to < handlers_.size() && handlers_[to],
                   "message sent to unregistered site");
@@ -35,14 +55,28 @@ void SimTransport::Send(SiteId from, SiteId to, Message m) {
   const Duration delay = DelayFor(from, to);
   SimTime deliver = sim_->Now() + delay;
   if (options_.fifo_per_channel) {
-    const std::uint64_t channel =
-        (static_cast<std::uint64_t>(from) << 32) | to;
-    SimTime& last = last_delivery_[channel];
+    // `from` needs no handler, so the matrix covers it explicitly.
+    const std::size_t n =
+        std::max(handlers_.size(), static_cast<std::size_t>(from) + 1);
+    if (channel_stride_ < n) {
+      // Sites register before the first send; on the rare late
+      // registration, rebuild the (from, to) matrix preserving entries.
+      std::vector<SimTime> grown(n * n, 0);
+      for (std::size_t f = 0; f < channel_stride_; ++f) {
+        for (std::size_t t = 0; t < channel_stride_; ++t) {
+          grown[f * n + t] = last_delivery_[f * channel_stride_ + t];
+        }
+      }
+      last_delivery_ = std::move(grown);
+      channel_stride_ = n;
+    }
+    SimTime& last = last_delivery_[from * channel_stride_ + to];
     if (deliver <= last) deliver = last + 1;
     last = deliver;
   }
-  sim_->ScheduleAt(deliver, [this, from, to, m = std::move(m)]() {
-    handlers_[to](from, m);
+  const std::uint32_t node = AcquireNode(std::move(m));
+  sim_->ScheduleAt(deliver, [this, from, to, node]() {
+    Deliver(from, to, node);
   });
 }
 

@@ -8,7 +8,6 @@
 #include <array>
 #include <cstdint>
 #include <functional>
-#include <unordered_map>
 #include <vector>
 
 #include "common/rng.h"
@@ -68,12 +67,23 @@ class SimTransport : public Transport {
  private:
   Duration DelayFor(SiteId from, SiteId to);
 
+  // In-flight messages live in a free-listed pool; the delivery event
+  // captures only the node index, so it fits EventFn's inline buffer and
+  // the steady-state send/deliver cycle performs no heap allocation.
+  std::uint32_t AcquireNode(Message m);
+  void Deliver(SiteId from, SiteId to, std::uint32_t node);
+
   Simulator* sim_;
   NetworkOptions options_;
   Rng rng_;
   std::vector<SiteHandler> handlers_;
-  // Last scheduled delivery time per (from, to) channel (FIFO enforcement).
-  std::unordered_map<std::uint64_t, SimTime> last_delivery_;
+  // Last scheduled delivery time per (from, to) channel (FIFO
+  // enforcement), as a flat site x site matrix: all sites register before
+  // the first send, so the matrix is sized once.
+  std::vector<SimTime> last_delivery_;
+  std::size_t channel_stride_ = 0;
+  std::vector<Message> pool_;             // in-flight message nodes
+  std::vector<std::uint32_t> pool_free_;  // recycled node indices
   std::uint64_t total_messages_ = 0;
   std::uint64_t remote_messages_ = 0;
   std::array<std::uint64_t, static_cast<std::size_t>(MessageKind::kNumKinds)>

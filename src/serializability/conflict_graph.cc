@@ -3,15 +3,9 @@
 #include <algorithm>
 #include <queue>
 
+#include "common/check.h"
+
 namespace unicc {
-
-namespace {
-
-bool Conflict(OpType a, OpType b) {
-  return a == OpType::kWrite || b == OpType::kWrite;
-}
-
-}  // namespace
 
 SerializabilityReport ConflictGraphChecker::Check(
     const ImplementationLog& log, const CommittedSet& committed) {
@@ -21,26 +15,38 @@ SerializabilityReport ConflictGraphChecker::Check(
   std::unordered_map<TxnId, std::unordered_set<TxnId>> adj;
   std::unordered_set<TxnId> nodes;
 
+  // Scratch reused across copies: the last writer plus every reader since
+  // that write. Recording only those edges (instead of all conflicting
+  // pairs, which is quadratic in the log length) builds a graph with the
+  // same transitive closure: an earlier writer reaches a later op through
+  // the chain of intermediate writers. Acyclicity — and the minimal
+  // witness order Kahn's algorithm extracts below — depend only on that
+  // closure, so the report is unchanged.
+  std::vector<TxnId> readers;
   for (const CopyId& copy : log.Copies()) {
-    // Filter to committed incarnations, keeping implementation order.
-    std::vector<const LogRecord*> ops;
+    readers.clear();
+    TxnId writer = 0;
+    bool has_writer = false;
+    // Logs are appended in implementation order (seq is assigned at append
+    // time), so the committed filter below keeps them sorted.
+    UNICC_CHECK(std::is_sorted(
+        log.LogOf(copy).begin(), log.LogOf(copy).end(),
+        [](const LogRecord& a, const LogRecord& b) { return a.seq < b.seq; }));
     for (const LogRecord& r : log.LogOf(copy)) {
       auto it = committed.find(r.txn);
-      if (it != committed.end() && it->second == r.attempt) {
-        ops.push_back(&r);
-      }
-    }
-    std::sort(ops.begin(), ops.end(),
-              [](const LogRecord* a, const LogRecord* b) {
-                return a->seq < b->seq;
-              });
-    for (std::size_t i = 0; i < ops.size(); ++i) {
-      nodes.insert(ops[i]->txn);
-      for (std::size_t j = i + 1; j < ops.size(); ++j) {
-        if (ops[i]->txn == ops[j]->txn) continue;
-        if (Conflict(ops[i]->op, ops[j]->op)) {
-          adj[ops[i]->txn].insert(ops[j]->txn);
+      if (it == committed.end() || it->second != r.attempt) continue;
+      nodes.insert(r.txn);
+      if (r.op == OpType::kRead) {
+        if (has_writer && writer != r.txn) adj[writer].insert(r.txn);
+        readers.push_back(r.txn);
+      } else {
+        if (has_writer && writer != r.txn) adj[writer].insert(r.txn);
+        for (TxnId t : readers) {
+          if (t != r.txn) adj[t].insert(r.txn);
         }
+        readers.clear();
+        writer = r.txn;
+        has_writer = true;
       }
     }
   }

@@ -1,0 +1,128 @@
+// Golden determinism suite: every shipped scenario must produce a
+// byte-identical result snapshot when run twice, and when its workload is
+// round-tripped through the binary trace codec (record -> replay). This
+// pins the simulation core down so hot-path rewrites cannot silently
+// change results: any drift in the event loop's ordering, the queue
+// managers' grant decisions or the workload generators shows up here as a
+// snapshot mismatch naming the scenario.
+#include <gtest/gtest.h>
+
+#include <algorithm>
+#include <cstdio>
+#include <filesystem>
+#include <string>
+#include <vector>
+
+#include "bench_util.h"
+#include "scenario/scenario.h"
+#include "workload/trace.h"
+
+#ifndef UNICC_SCENARIOS_DIR
+#error "UNICC_SCENARIOS_DIR must point at the shipped scenarios/ directory"
+#endif
+
+namespace unicc {
+namespace {
+
+using bench::RunStats;
+
+// Serializes every deterministic field of a run. Doubles are printed with
+// %.17g: bit-identical runs print identical bytes, and any numeric drift
+// is visible in the diff.
+std::string Snapshot(const RunStats& s) {
+  char buf[1024];
+  std::snprintf(
+      buf, sizeof(buf),
+      "admitted=%llu committed=%llu makespan=%llu messages=%llu "
+      "log_records=%llu replicas=%d victims=%llu rejects=%llu "
+      "backoffs=%llu serializable=%d mean_s=%.17g p95_s=%.17g "
+      "msgs_per_txn=%.17g cc_msgs_per_txn=%.17g throughput=%.17g",
+      static_cast<unsigned long long>(s.admitted),
+      static_cast<unsigned long long>(s.committed),
+      static_cast<unsigned long long>(s.makespan),
+      static_cast<unsigned long long>(s.total_messages),
+      static_cast<unsigned long long>(s.log_records),
+      s.replicas_consistent ? 1 : 0,
+      static_cast<unsigned long long>(s.deadlock_victims),
+      static_cast<unsigned long long>(s.reject_restarts),
+      static_cast<unsigned long long>(s.backoff_rounds),
+      s.serializable ? 1 : 0, s.mean_s_ms, s.p95_s_ms, s.msgs_per_txn,
+      s.cc_msgs_per_txn, s.throughput);
+  std::string out(buf);
+  for (int p = 0; p < kNumProtocols; ++p) {
+    std::snprintf(buf, sizeof(buf), " proto%d=%llu/%.17g", p,
+                  static_cast<unsigned long long>(s.committed_by_proto[p]),
+                  s.mean_s_ms_by_proto[p]);
+    out += buf;
+  }
+  return out;
+}
+
+std::vector<std::string> ShippedScenarios() {
+  std::vector<std::string> paths;
+  for (const auto& entry :
+       std::filesystem::directory_iterator(UNICC_SCENARIOS_DIR)) {
+    if (entry.path().extension() == ".ini") {
+      paths.push_back(entry.path().string());
+    }
+  }
+  std::sort(paths.begin(), paths.end());
+  return paths;
+}
+
+class GoldenScenarioTest : public ::testing::TestWithParam<std::string> {};
+
+TEST_P(GoldenScenarioTest, RepeatedRunsAreByteIdentical) {
+  auto spec = ScenarioSpec::LoadFile(GetParam());
+  ASSERT_TRUE(spec.ok()) << spec.status().ToString();
+  const ScenarioSpec::Workload wl = spec->BuildWorkload();
+
+  const RunStats first = bench::RunScenarioWith(*spec, wl.arrivals,
+                                                wl.forced);
+  const RunStats second = bench::RunScenarioWith(*spec, wl.arrivals,
+                                                 wl.forced);
+  EXPECT_EQ(Snapshot(first), Snapshot(second))
+      << GetParam() << ": two identical runs diverged";
+  EXPECT_TRUE(first.serializable) << GetParam();
+  EXPECT_TRUE(first.replicas_consistent) << GetParam();
+  EXPECT_EQ(first.committed, spec->TotalTxns()) << GetParam();
+}
+
+TEST_P(GoldenScenarioTest, RebuiltWorkloadIsByteIdentical) {
+  auto spec = ScenarioSpec::LoadFile(GetParam());
+  ASSERT_TRUE(spec.ok()) << spec.status().ToString();
+  // BuildWorkload is part of the determinism contract too: two builds must
+  // yield the same arrivals (same trace bytes).
+  const ScenarioSpec::Workload a = spec->BuildWorkload();
+  const ScenarioSpec::Workload b = spec->BuildWorkload();
+  EXPECT_EQ(WorkloadTrace::SerializeBinary(a.arrivals),
+            WorkloadTrace::SerializeBinary(b.arrivals))
+      << GetParam() << ": workload generation diverged";
+}
+
+TEST_P(GoldenScenarioTest, RecordReplayRoundTripIsByteIdentical) {
+  auto spec = ScenarioSpec::LoadFile(GetParam());
+  ASSERT_TRUE(spec.ok()) << spec.status().ToString();
+  const ScenarioSpec::Workload wl = spec->BuildWorkload();
+
+  const RunStats direct = bench::RunScenarioWith(*spec, wl.arrivals,
+                                                 wl.forced);
+  // Record -> replay through the versioned binary codec, as unicc_sim's
+  // --record-trace/--replay-trace do.
+  const std::string bytes = WorkloadTrace::SerializeBinary(wl.arrivals);
+  auto replayed = WorkloadTrace::ParseBinary(bytes);
+  ASSERT_TRUE(replayed.ok()) << replayed.status().ToString();
+  const RunStats replay = bench::RunScenarioWith(*spec, *replayed,
+                                                 wl.forced);
+  EXPECT_EQ(Snapshot(direct), Snapshot(replay))
+      << GetParam() << ": record->replay diverged";
+}
+
+INSTANTIATE_TEST_SUITE_P(
+    Scenarios, GoldenScenarioTest, ::testing::ValuesIn(ShippedScenarios()),
+    [](const ::testing::TestParamInfo<std::string>& info) {
+      return std::filesystem::path(info.param).stem().string();
+    });
+
+}  // namespace
+}  // namespace unicc

@@ -2,7 +2,14 @@
 
 #include <gtest/gtest.h>
 
+#include <functional>
+#include <map>
+#include <memory>
+#include <utility>
 #include <vector>
+
+#include "common/event_fn.h"
+#include "common/rng.h"
 
 namespace unicc {
 namespace {
@@ -81,6 +88,225 @@ TEST(SimulatorTest, EventsRunCountsExecutedOnly) {
   sim.Cancel(id);
   sim.RunToCompletion();
   EXPECT_EQ(sim.EventsRun(), 1u);
+}
+
+TEST(SimulatorTest, CancelWhilePendingReleasesCapturesImmediately) {
+  Simulator sim;
+  auto token = std::make_shared<int>(7);
+  std::weak_ptr<int> watch = token;
+  const auto id =
+      sim.Schedule(10, [token = std::move(token)] { (void)*token; });
+  EXPECT_FALSE(watch.expired());
+  EXPECT_TRUE(sim.Cancel(id));
+  // The callback (and its captured state) dies at Cancel(), not when the
+  // placeholder is eventually popped.
+  EXPECT_TRUE(watch.expired());
+  sim.RunToCompletion();
+}
+
+TEST(SimulatorTest, CancelAfterRunReturnsFalse) {
+  Simulator sim;
+  bool ran = false;
+  const auto id = sim.Schedule(5, [&] { ran = true; });
+  sim.RunToCompletion();
+  EXPECT_TRUE(ran);
+  EXPECT_FALSE(sim.Cancel(id));  // already executed
+}
+
+TEST(SimulatorTest, CancelStaleIdOfRecycledSlotReturnsFalse) {
+  Simulator sim;
+  const auto first = sim.Schedule(1, [] {});
+  sim.RunToCompletion();
+  // The slot is recycled for the next event; the stale id must not be able
+  // to cancel the new tenant.
+  const auto second = sim.Schedule(1, [] {});
+  EXPECT_FALSE(sim.Cancel(first));
+  EXPECT_EQ(sim.PendingEvents(), 1u);
+  EXPECT_TRUE(sim.Cancel(second));
+}
+
+TEST(SimulatorTest, PendingEventsExcludesCancelledPlaceholders) {
+  Simulator sim;
+  sim.Schedule(10, [] {});
+  const auto a = sim.Schedule(20, [] {});
+  const auto b = sim.Schedule(30, [] {});
+  EXPECT_EQ(sim.PendingEvents(), 3u);
+  sim.Cancel(a);
+  sim.Cancel(b);
+  // Regression: the cancelled placeholders are still queued internally but
+  // must not be reported as pending work.
+  EXPECT_EQ(sim.PendingEvents(), 1u);
+  sim.RunToCompletion();
+  EXPECT_EQ(sim.PendingEvents(), 0u);
+}
+
+TEST(SimulatorTest, RunUntilRunsEventExactlyAtBoundary) {
+  Simulator sim;
+  int ran = 0;
+  sim.Schedule(20, [&] { ++ran; });
+  EXPECT_EQ(sim.RunUntil(20), 1u);  // timestamp == until still runs
+  EXPECT_EQ(ran, 1);
+  EXPECT_EQ(sim.Now(), 20u);
+}
+
+TEST(SimulatorTest, RunUntilTieBreaksInSchedulingOrderAtBoundary) {
+  Simulator sim;
+  std::vector<int> order;
+  sim.Schedule(20, [&] { order.push_back(1); });
+  sim.Schedule(20, [&] { order.push_back(2); });
+  sim.Schedule(21, [&] { order.push_back(3); });
+  sim.RunUntil(20);
+  EXPECT_EQ(order, (std::vector<int>{1, 2}));
+  // The clock must hold at the last executed event while live events
+  // remain beyond `until`.
+  EXPECT_EQ(sim.Now(), 20u);
+  sim.RunToCompletion();
+  EXPECT_EQ(order, (std::vector<int>{1, 2, 3}));
+}
+
+TEST(SimulatorTest, RunUntilAdvancesPastCancelledResidue) {
+  Simulator sim;
+  const auto a = sim.Schedule(10, [] {});
+  const auto b = sim.Schedule(200, [] {});
+  sim.Cancel(a);
+  sim.Cancel(b);
+  // Only cancelled placeholders remain: RunUntil must treat the queue as
+  // empty and advance the clock all the way to `until`.
+  EXPECT_EQ(sim.RunUntil(100), 0u);
+  EXPECT_EQ(sim.Now(), 100u);
+  EXPECT_EQ(sim.PendingEvents(), 0u);
+}
+
+TEST(SimulatorTest, RunUntilHoldsClockWhenLiveEventsRemain) {
+  Simulator sim;
+  int ran = 0;
+  sim.Schedule(10, [&] { ++ran; });
+  sim.Schedule(200, [&] { ++ran; });
+  sim.RunUntil(100);
+  EXPECT_EQ(ran, 1);
+  EXPECT_EQ(sim.Now(), 10u);  // not 100: a live event still waits at 200
+}
+
+TEST(SimulatorDeathTest, MaxEventsCapAbortsOnLivelock) {
+  ::testing::FLAGS_gtest_death_test_style = "threadsafe";
+  auto livelock = [] {
+    Simulator sim;
+    // Self-perpetuating event chain: the cap must abort the run.
+    std::function<void()> tick = [&] { sim.Schedule(1, [&] { tick(); }); };
+    sim.Schedule(1, [&] { tick(); });
+    sim.RunToCompletion(/*max_events=*/1000);
+  };
+  EXPECT_DEATH(livelock(), "event cap exceeded");
+}
+
+TEST(SimulatorTest, ArenaSlotsStaySteadyUnderConstantLoad) {
+  Simulator sim;
+  std::uint64_t sink = 0;
+  auto batch = [&] {
+    for (int i = 0; i < 64; ++i) {
+      sim.Schedule(static_cast<Duration>(i % 7), [&sink] { ++sink; });
+    }
+    sim.RunToCompletion();
+  };
+  batch();
+  const std::size_t warm = sim.ArenaSlots();
+  for (int r = 0; r < 10; ++r) batch();
+  // The zero-allocation property of the schedule/run cycle: constant load
+  // must recycle slots, not grow the arena.
+  EXPECT_EQ(sim.ArenaSlots(), warm);
+}
+
+// Model-based check of the banded event queue: random schedule / cancel /
+// run interleavings must execute events in exactly the (time, seq) order a
+// naive reference queue produces.
+TEST(SimulatorTest, RandomOpsMatchReferenceModel) {
+  for (std::uint64_t seed = 1; seed <= 8; ++seed) {
+    Simulator sim;
+    Rng rng(seed * 2654435761ULL + 11);
+    std::vector<int> got;
+    std::vector<int> want;
+    // Reference: ordered map keyed by (when, insertion seq) -> tag.
+    std::map<std::pair<SimTime, std::uint64_t>, int> model;
+    std::map<int, std::uint64_t> ids;  // tag -> simulator event id
+    std::uint64_t seq = 0;
+    int next_tag = 0;
+
+    for (int step = 0; step < 3000; ++step) {
+      const int action = static_cast<int>(rng.UniformInt(100));
+      if (action < 55) {
+        const Duration delay = rng.UniformInt(500);
+        const int tag = next_tag++;
+        ids[tag] = sim.Schedule(delay, [&got, tag] { got.push_back(tag); });
+        model.emplace(std::make_pair(sim.Now() + delay, seq++), tag);
+      } else if (action < 70 && !model.empty()) {
+        // Cancel a random pending event.
+        auto it = model.begin();
+        std::advance(it, static_cast<long>(rng.UniformInt(model.size())));
+        EXPECT_TRUE(sim.Cancel(ids[it->second]));
+        model.erase(it);
+      } else if (action < 90) {
+        // Run a bounded slice of time.
+        const SimTime until = sim.Now() + rng.UniformInt(300);
+        sim.RunUntil(until);
+        while (!model.empty() && model.begin()->first.first <= until) {
+          want.push_back(model.begin()->second);
+          model.erase(model.begin());
+        }
+      } else {
+        sim.RunToCompletion();
+        for (const auto& [key, tag] : model) want.push_back(tag);
+        model.clear();
+      }
+      ASSERT_EQ(got, want) << "seed " << seed << " step " << step;
+      ASSERT_EQ(sim.PendingEvents(), model.size());
+    }
+    sim.RunToCompletion();
+    for (const auto& [key, tag] : model) want.push_back(tag);
+    EXPECT_EQ(got, want) << "seed " << seed;
+  }
+}
+
+TEST(EventFnTest, SmallCapturesStoreInline) {
+  std::uint64_t a = 1, b = 2, c = 3;
+  auto small = [&a, &b, &c] { a = b + c; };
+  static_assert(EventFn::stores_inline<decltype(small)>());
+  EventFn fn(std::move(small));
+  fn();
+  EXPECT_EQ(a, 5u);
+}
+
+TEST(EventFnTest, LargeCapturesFallBackToHeap) {
+  struct Big {
+    std::uint64_t pad[8] = {0};
+  };
+  Big big;
+  std::uint64_t hits = 0;
+  auto large = [big, &hits] { hits += big.pad[0] + 1; };
+  static_assert(!EventFn::stores_inline<decltype(large)>());
+  EventFn fn(std::move(large));
+  fn();
+  fn();
+  EXPECT_EQ(hits, 2u);
+}
+
+TEST(EventFnTest, MoveTransfersOwnershipAndEmptiesSource) {
+  int calls = 0;
+  EventFn fn([&calls] { ++calls; });
+  EventFn other = std::move(fn);
+  EXPECT_FALSE(static_cast<bool>(fn));  // NOLINT(bugprone-use-after-move)
+  EXPECT_TRUE(static_cast<bool>(other));
+  other();
+  EXPECT_EQ(calls, 1);
+}
+
+TEST(EventFnTest, ResetDestroysCapturedState) {
+  auto token = std::make_shared<int>(1);
+  std::weak_ptr<int> watch = token;
+  EventFn fn([token = std::move(token)] { (void)token; });
+  EXPECT_FALSE(watch.expired());
+  fn.Reset();
+  EXPECT_TRUE(watch.expired());
+  EXPECT_FALSE(static_cast<bool>(fn));
 }
 
 }  // namespace

@@ -1,0 +1,408 @@
+// perf_gate: the performance regression gate for the simulation core.
+//
+// Measures a small set of hot-path kernels plus one scaled-up end-to-end
+// scenario run, writes the results as BENCH_core.json, and (in gate mode)
+// compares them against a committed baseline with a tolerance band:
+//
+//   perf_gate --out=BENCH_core.json            # measure, write baseline
+//   perf_gate --baseline=BENCH_core.json       # measure, gate (exit 1 on
+//                                              #   regression)
+//
+// Kernels (items/sec, higher is better):
+//   sim_schedule_run   events through Schedule() + RunToCompletion()
+//   sim_cancel_churn   schedule/cancel pairs drained by the run loop
+//   qm_grant_release   unified-QM write grant/release cycles
+//   scenario_e2e       committed transactions/sec, wall clock, on a
+//                      scaled-up declarative scenario
+//
+// Wall-clock rates are machine-dependent, so the gate uses a tolerance
+// band (default: fail below 0.5x baseline) — wide enough for runner
+// variance, tight enough to catch a reintroduced per-event allocation or
+// an accidental O(n^2). Two machine-independent invariants are checked
+// exactly: the scenario result digest (the simulation is deterministic;
+// any digest change means results changed, not just speed) and the
+// steady-state arena property (the event loop must not grow its slot
+// arena while load is constant). See docs/performance.md for how to
+// refresh the baseline.
+#include <chrono>
+#include <cstdio>
+#include <cstdlib>
+#include <cstring>
+#include <string>
+#include <vector>
+
+#include "bench_util.h"
+#include "cc/unified/queue_manager.h"
+#include "common/rng.h"
+#include "net/transport.h"
+#include "scenario/ini.h"
+#include "scenario/scenario.h"
+#include "sim/simulator.h"
+#include "storage/log.h"
+
+namespace {
+
+using namespace unicc;
+
+struct KernelResult {
+  std::string name;
+  std::string items;  // unit label: "events", "cycles", "txns"
+  double items_per_sec = 0;
+};
+
+double NowSeconds() {
+  using clock = std::chrono::steady_clock;
+  return std::chrono::duration<double>(clock::now().time_since_epoch())
+      .count();
+}
+
+// Runs `batch` (which returns the number of items it processed) until at
+// least `min_seconds` of wall clock have been consumed, after one warm-up
+// call, and returns items/sec.
+template <typename F>
+double MeasureRate(F&& batch, double min_seconds) {
+  batch();  // warm-up: page in code, grow arenas to steady state
+  double total_items = 0;
+  const double start = NowSeconds();
+  double elapsed = 0;
+  do {
+    total_items += static_cast<double>(batch());
+    elapsed = NowSeconds() - start;
+  } while (elapsed < min_seconds);
+  return total_items / elapsed;
+}
+
+// ---------------------------------------------------------------------------
+// Kernels
+// ---------------------------------------------------------------------------
+
+KernelResult KernelScheduleRun(double min_seconds, bool* arena_stable) {
+  Simulator sim;
+  std::uint64_t sink = 0;
+  auto batch = [&sim, &sink] {
+    for (int i = 0; i < 1000; ++i) {
+      sim.Schedule(static_cast<Duration>(i % 97), [&sink] { ++sink; });
+    }
+    sim.RunToCompletion();
+    return 1000u;
+  };
+  // Steady-state invariant: once warm, a constant-load schedule/run cycle
+  // must not keep growing the event arena (i.e. no per-event allocation).
+  batch();
+  const std::size_t warm = sim.ArenaSlots();
+  batch();
+  if (sim.ArenaSlots() != warm) *arena_stable = false;
+  KernelResult r;
+  r.name = "sim_schedule_run";
+  r.items = "events";
+  r.items_per_sec = MeasureRate(batch, min_seconds);
+  return r;
+}
+
+KernelResult KernelCancelChurn(double min_seconds) {
+  Simulator sim;
+  std::uint64_t sink = 0;
+  std::vector<std::uint64_t> ids(1000);
+  auto batch = [&] {
+    for (int i = 0; i < 1000; ++i) {
+      ids[static_cast<std::size_t>(i)] =
+          sim.Schedule(static_cast<Duration>(i % 97), [&sink] { ++sink; });
+    }
+    // Cancel every other event, then drain the rest.
+    for (int i = 0; i < 1000; i += 2) {
+      sim.Cancel(ids[static_cast<std::size_t>(i)]);
+    }
+    sim.RunToCompletion();
+    return 1000u;
+  };
+  KernelResult r;
+  r.name = "sim_cancel_churn";
+  r.items = "events";
+  r.items_per_sec = MeasureRate(batch, min_seconds);
+  return r;
+}
+
+KernelResult KernelQmGrantRelease(double min_seconds) {
+  Simulator sim;
+  NetworkOptions net;
+  net.base_delay = 1;
+  net.local_delay = 1;
+  SimTransport transport(&sim, net, Rng(2));
+  ImplementationLog log;
+  transport.RegisterSite(0, [](SiteId, const Message&) {});
+  transport.RegisterSite(1, [](SiteId, const Message&) {});
+  CcContext ctx{&sim, &transport, &log};
+  UnifiedQueueManager qm(1, ctx, UnifiedQmOptions{});
+  const CopyId copy{0, 1};
+  TxnId txn = 1;
+  auto batch = [&] {
+    for (int i = 0; i < 256; ++i) {
+      msg::CcRequest req;
+      req.txn = txn;
+      req.attempt = 1;
+      req.copy = copy;
+      req.op = OpType::kWrite;
+      req.proto = Protocol::kTwoPhaseLocking;
+      req.reply_to = 0;
+      qm.OnRequest(req);
+      qm.OnRelease(msg::Release{txn, 1, copy, true, txn});
+      sim.RunToCompletion();
+      ++txn;
+    }
+    return 256u;
+  };
+  KernelResult r;
+  r.name = "qm_grant_release";
+  r.items = "cycles";
+  r.items_per_sec = MeasureRate(batch, min_seconds);
+  return r;
+}
+
+// FNV-1a over the deterministic integer outcomes of a run: if this digest
+// moves, the optimization changed simulation results, not just its speed.
+std::uint64_t DigestStats(const bench::RunStats& s) {
+  std::uint64_t h = 1469598103934665603ULL;
+  auto mix = [&h](std::uint64_t v) {
+    for (int i = 0; i < 8; ++i) {
+      h ^= (v >> (8 * i)) & 0xff;
+      h *= 1099511628211ULL;
+    }
+  };
+  mix(s.committed);
+  mix(s.deadlock_victims);
+  mix(s.reject_restarts);
+  mix(s.backoff_rounds);
+  mix(s.serializable ? 1 : 0);
+  for (int p = 0; p < kNumProtocols; ++p) mix(s.committed_by_proto[p]);
+  return h;
+}
+
+KernelResult KernelScenario(const std::string& path, std::uint64_t txns,
+                            std::uint64_t* digest, bool* ok) {
+  KernelResult r;
+  r.name = "scenario_e2e";
+  r.items = "txns";
+  auto ini = IniFile::ReadFile(path);
+  if (!ini.ok()) {
+    std::fprintf(stderr, "perf_gate: %s: %s\n", path.c_str(),
+                 ini.status().ToString().c_str());
+    *ok = false;
+    return r;
+  }
+  // Scale the workload up so the wall-clock measurement has signal; the
+  // arrival rate stays as authored, preserving the scenario's contention.
+  IniFile scaled = *ini;
+  scaled.Set("class main", "txns", std::to_string(txns));
+  auto spec = ScenarioSpec::FromIni(scaled);
+  if (!spec.ok()) {
+    std::fprintf(stderr, "perf_gate: %s: %s\n", path.c_str(),
+                 spec.status().ToString().c_str());
+    *ok = false;
+    return r;
+  }
+  const double start = NowSeconds();
+  const bench::RunStats stats = bench::RunScenario(*spec);
+  const double elapsed = NowSeconds() - start;
+  r.items_per_sec = static_cast<double>(stats.committed) / elapsed;
+  *digest = DigestStats(stats);
+  if (stats.committed != txns || !stats.serializable) {
+    std::fprintf(stderr,
+                 "perf_gate: scenario run is broken (committed=%llu/%llu, "
+                 "serializable=%s)\n",
+                 static_cast<unsigned long long>(stats.committed),
+                 static_cast<unsigned long long>(txns),
+                 stats.serializable ? "yes" : "no");
+    *ok = false;
+  }
+  return r;
+}
+
+// ---------------------------------------------------------------------------
+// JSON in/out
+// ---------------------------------------------------------------------------
+
+void WriteReport(const std::string& path,
+                 const std::vector<KernelResult>& kernels,
+                 std::uint64_t digest, const std::string& scenario) {
+  std::FILE* f = std::fopen(path.c_str(), "w");
+  if (f == nullptr) {
+    std::fprintf(stderr, "perf_gate: cannot open %s\n", path.c_str());
+    std::exit(2);
+  }
+  std::fprintf(f,
+               "{\n  \"suite\": \"core\",\n"
+               "  \"generated_by\": \"perf_gate\",\n"
+               "  \"scenario\": \"%s\",\n"
+               "  \"scenario_digest\": \"%016llx\",\n"
+               "  \"kernels\": [\n",
+               scenario.c_str(), static_cast<unsigned long long>(digest));
+  for (std::size_t i = 0; i < kernels.size(); ++i) {
+    std::fprintf(f,
+                 "    {\"name\": \"%s\", \"items\": \"%s\", "
+                 "\"items_per_sec\": %.1f}%s\n",
+                 kernels[i].name.c_str(), kernels[i].items.c_str(),
+                 kernels[i].items_per_sec,
+                 i + 1 == kernels.size() ? "" : ",");
+  }
+  std::fprintf(f, "  ]\n}\n");
+  std::fclose(f);
+  std::printf("perf_gate: wrote %s\n", path.c_str());
+}
+
+// Minimal targeted extraction from a perf_gate-written baseline: kernel
+// (name, items_per_sec) pairs and the scenario digest. Not a general JSON
+// parser; the file format is owned by this tool.
+struct Baseline {
+  std::vector<KernelResult> kernels;
+  std::uint64_t digest = 0;
+  bool has_digest = false;
+};
+
+bool LoadBaseline(const std::string& path, Baseline* out) {
+  std::FILE* f = std::fopen(path.c_str(), "rb");
+  if (f == nullptr) return false;
+  std::string text;
+  char buf[4096];
+  std::size_t n;
+  while ((n = std::fread(buf, 1, sizeof(buf), f)) > 0) text.append(buf, n);
+  std::fclose(f);
+
+  const std::string dkey = "\"scenario_digest\": \"";
+  if (std::size_t p = text.find(dkey); p != std::string::npos) {
+    out->digest = std::strtoull(text.c_str() + p + dkey.size(), nullptr, 16);
+    out->has_digest = true;
+  }
+  const std::string nkey = "\"name\": \"";
+  const std::string vkey = "\"items_per_sec\": ";
+  std::size_t pos = 0;
+  while ((pos = text.find(nkey, pos)) != std::string::npos) {
+    pos += nkey.size();
+    const std::size_t end = text.find('"', pos);
+    if (end == std::string::npos) return false;
+    KernelResult k;
+    k.name = text.substr(pos, end - pos);
+    const std::size_t vpos = text.find(vkey, end);
+    if (vpos == std::string::npos) return false;
+    k.items_per_sec = std::strtod(text.c_str() + vpos + vkey.size(), nullptr);
+    out->kernels.push_back(std::move(k));
+    pos = end;
+  }
+  return !out->kernels.empty();
+}
+
+void PrintHelp() {
+  std::puts(
+      "perf_gate: hot-path performance measurement and regression gate\n"
+      "  --out=<file>        write results as JSON (default: none)\n"
+      "  --baseline=<file>   gate against a committed baseline; exit 1 on\n"
+      "                      regression\n"
+      "  --tolerance=<t>     fail a kernel below t x baseline (default 0.5)\n"
+      "  --min-time=<sec>    minimum measuring time per kernel "
+      "(default 0.5)\n"
+      "  --scenario=<file>   scenario for the end-to-end kernel\n"
+      "                      (default scenarios/quickstart.ini)\n"
+      "  --txns=<n>          scaled-up transaction count for the scenario\n"
+      "                      kernel (default 20000)");
+}
+
+bool ParseFlag(const char* arg, const char* name, std::string* out) {
+  const std::size_t len = std::strlen(name);
+  if (std::strncmp(arg, name, len) == 0 && arg[len] == '=') {
+    *out = arg + len + 1;
+    return true;
+  }
+  return false;
+}
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  std::string out_path;
+  std::string baseline_path;
+  std::string scenario_path = "scenarios/quickstart.ini";
+  double tolerance = 0.5;
+  double min_time = 0.5;
+  std::uint64_t txns = 20000;
+  for (int i = 1; i < argc; ++i) {
+    std::string v;
+    const char* a = argv[i];
+    if (std::strcmp(a, "--help") == 0) {
+      PrintHelp();
+      return 0;
+    } else if (ParseFlag(a, "--out", &out_path) ||
+               ParseFlag(a, "--baseline", &baseline_path) ||
+               ParseFlag(a, "--scenario", &scenario_path)) {
+    } else if (ParseFlag(a, "--tolerance", &v)) {
+      tolerance = std::strtod(v.c_str(), nullptr);
+    } else if (ParseFlag(a, "--min-time", &v)) {
+      min_time = std::strtod(v.c_str(), nullptr);
+    } else if (ParseFlag(a, "--txns", &v)) {
+      txns = std::strtoull(v.c_str(), nullptr, 10);
+    } else {
+      std::fprintf(stderr, "unknown flag '%s' (try --help)\n", a);
+      return 2;
+    }
+  }
+
+  bool ok = true;
+  bool arena_stable = true;
+  std::uint64_t digest = 0;
+  std::vector<KernelResult> kernels;
+  kernels.push_back(KernelScheduleRun(min_time, &arena_stable));
+  kernels.push_back(KernelCancelChurn(min_time));
+  kernels.push_back(KernelQmGrantRelease(min_time));
+  kernels.push_back(KernelScenario(scenario_path, txns, &digest, &ok));
+
+  std::printf("%-18s %14s  %s\n", "kernel", "items/sec", "unit");
+  for (const KernelResult& k : kernels) {
+    std::printf("%-18s %14.0f  %s\n", k.name.c_str(), k.items_per_sec,
+                k.items.c_str());
+  }
+  std::printf("scenario_digest    %016llx\n",
+              static_cast<unsigned long long>(digest));
+  if (!arena_stable) {
+    std::fprintf(stderr,
+                 "perf_gate: FAIL event arena grew under constant load "
+                 "(per-event allocation reintroduced?)\n");
+    ok = false;
+  }
+
+  if (!baseline_path.empty()) {
+    Baseline base;
+    if (!LoadBaseline(baseline_path, &base)) {
+      std::fprintf(stderr, "perf_gate: cannot read baseline %s\n",
+                   baseline_path.c_str());
+      return 2;
+    }
+    std::printf("\n%-18s %14s %14s %7s\n", "kernel", "baseline", "current",
+                "ratio");
+    for (const KernelResult& k : kernels) {
+      for (const KernelResult& b : base.kernels) {
+        if (b.name != k.name) continue;
+        const double ratio =
+            b.items_per_sec > 0 ? k.items_per_sec / b.items_per_sec : 0;
+        const bool pass = ratio >= tolerance;
+        std::printf("%-18s %14.0f %14.0f %6.2fx %s\n", k.name.c_str(),
+                    b.items_per_sec, k.items_per_sec, ratio,
+                    pass ? "" : "FAIL");
+        if (!pass) ok = false;
+      }
+    }
+    if (base.has_digest && base.digest != digest) {
+      std::fprintf(stderr,
+                   "perf_gate: FAIL scenario digest changed "
+                   "(%016llx -> %016llx): simulation results differ from "
+                   "the baseline build\n",
+                   static_cast<unsigned long long>(base.digest),
+                   static_cast<unsigned long long>(digest));
+      ok = false;
+    }
+  }
+
+  // Written even when the gate fails: CI uploads the measured numbers as
+  // an artifact precisely so a failing run can be diagnosed.
+  if (!out_path.empty()) {
+    WriteReport(out_path, kernels, digest, scenario_path);
+  }
+  return ok ? 0 : 1;
+}
