@@ -162,23 +162,34 @@ inline RunStats RunOne(const BenchConfig& cfg, PolicyKind policy,
 // Runs one declarative scenario to completion (sweep_runner's --scenario
 // mode and scenario-driven benches; unicc_sim wires the engine itself so
 // it can print verbose estimator state). The arrivals-override flavour
-// powers the golden determinism suite's record -> replay runs.
+// powers the golden determinism suite's record -> replay runs; the
+// stream flavour is the open-system path (streaming admission under the
+// scenario's [run] controls). RunScenario picks the path the scenario
+// asks for.
 inline RunStats RunScenarioWith(
     const ScenarioSpec& spec,
     const std::vector<WorkloadGenerator::Arrival>& arrivals,
     std::shared_ptr<const std::unordered_set<TxnId>> forced);
 
+inline RunStats RunScenarioOpen(const ScenarioSpec& spec);
+
 inline RunStats RunScenario(const ScenarioSpec& spec) {
+  if (spec.IsOpenSystem()) return RunScenarioOpen(spec);
   const ScenarioSpec::Workload wl = spec.BuildWorkload();
   return RunScenarioWith(spec, wl.arrivals, wl.forced);
 }
 
-inline RunStats RunScenarioWith(
+// Shared engine assembly for the two scenario paths: estimator, policy
+// stack and engine, wired per the spec. `admit` installs the workload
+// (batch or stream) once the policy is in place.
+template <typename AdmitFn>
+inline RunStats RunScenarioImpl(
     const ScenarioSpec& spec,
-    const std::vector<WorkloadGenerator::Arrival>& arrivals,
-    std::shared_ptr<const std::unordered_set<TxnId>> forced) {
+    std::shared_ptr<const std::unordered_set<TxnId>> forced,
+    AdmitFn&& admit) {
   auto estimator = std::make_unique<ParamEstimator>();
   ParamEstimator* est = estimator.get();
+  est->SetDecayWindow(spec.policy.estimator_window);
   EngineCallbacks callbacks = EstimatorCallbacks(est);
 
   auto naive = std::make_unique<MinAvgTimeSelector>();
@@ -221,8 +232,24 @@ inline RunStats RunScenarioWith(
 
   engine.SetProtocolPolicy(ForcedAwarePolicy(std::move(base),
                                              std::move(forced)));
-  UNICC_CHECK(engine.AddWorkload(arrivals).ok());
+  admit(engine);
   return ExtractStats(engine, engine.Run());
+}
+
+inline RunStats RunScenarioWith(
+    const ScenarioSpec& spec,
+    const std::vector<WorkloadGenerator::Arrival>& arrivals,
+    std::shared_ptr<const std::unordered_set<TxnId>> forced) {
+  return RunScenarioImpl(spec, std::move(forced), [&arrivals](Engine& e) {
+    UNICC_CHECK(e.AddWorkload(arrivals).ok());
+  });
+}
+
+inline RunStats RunScenarioOpen(const ScenarioSpec& spec) {
+  ScenarioSpec::OpenWorkload ow = spec.Open();
+  return RunScenarioImpl(spec, ow.forced, [&ow](Engine& e) {
+    e.SetArrivalStream(std::move(ow.stream));
+  });
 }
 
 inline RunStats ExtractStats(Engine& engine, const RunSummary& summary) {

@@ -25,12 +25,17 @@ void RequestIssuer::SetCompute(TxnId txn, ComputeFn fn) {
 }
 
 void RequestIssuer::Begin(const TxnSpec& spec) {
+  Begin(spec, ctx_.sim->Now());
+}
+
+void RequestIssuer::Begin(const TxnSpec& spec, SimTime arrival) {
   UNICC_CHECK_MSG(spec.Validate().ok(), "invalid transaction spec");
   UNICC_CHECK_MSG(spec.home == site_, "transaction routed to wrong issuer");
   UNICC_CHECK_MSG(!active_.contains(spec.id), "duplicate transaction id");
+  UNICC_CHECK_MSG(arrival <= ctx_.sim->Now(), "arrival in the future");
   ActiveTxn t = TakeSpare();
   t.spec = spec;
-  t.arrival = ctx_.sim->Now();
+  t.arrival = arrival;
   t.interval = spec.backoff_interval != 0
                    ? spec.backoff_interval
                    : options_.default_backoff_interval;

@@ -77,6 +77,10 @@ class RequestIssuer : public Issuer {
   void SetCompute(TxnId txn, ComputeFn fn);
 
   void Begin(const TxnSpec& spec) override;
+  // As above, but backdates the transaction's arrival (<= now) so system
+  // time includes any wait before admission — the engine's MPL gate uses
+  // this for arrivals parked until a commit freed a slot.
+  void Begin(const TxnSpec& spec, SimTime arrival);
   void OnGrant(const msg::Grant& m) override;
   void OnBackoff(const msg::Backoff& m) override;
   void OnPaAccept(const msg::PaAccept& m) override;

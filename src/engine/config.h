@@ -63,6 +63,33 @@ struct EngineOptions {
 
   std::uint64_t seed = 42;
 
+  // Open-system run controls. They bound *streaming* admission
+  // (Engine::SetArrivalStream); batch admission (AddWorkload /
+  // AddTransaction) is unaffected. 0 means "unbounded" for each.
+  struct RunControls {
+    // Arrivals after this simulated time are not admitted; in-flight work
+    // drains to completion.
+    SimTime time_horizon = 0;
+    // Admission closes once this many transactions have committed (the
+    // in-flight remainder still drains, so the final count may exceed it
+    // by up to the multiprogramming level).
+    std::uint64_t commit_target = 0;
+    // Multiprogramming-level cap: an arrival finding this many
+    // transactions in flight waits at the admission gate and enters when
+    // the next commit frees a slot.
+    std::uint32_t max_inflight = 0;
+  };
+  RunControls run;
+
+  // Window length for the TimelineRecorder time-series (per-window
+  // throughput, system-time percentiles, per-protocol counts); 0 disables
+  // the recorder.
+  Duration metrics_window = 0;
+
+  // Retain every per-commit TxnResult in RunMetrics::results(). Off by
+  // default: long open-system runs must not grow memory per commit.
+  bool keep_results = false;
+
   Status Validate() const;
 };
 

@@ -1,5 +1,6 @@
 #include "engine/engine.h"
 
+#include <algorithm>
 #include <utility>
 #include <variant>
 
@@ -16,6 +17,10 @@ Engine::Engine(EngineOptions options, EngineCallbacks callbacks)
       callbacks_(std::move(callbacks)),
       root_rng_(options_.seed) {
   UNICC_CHECK_MSG(options_.Validate().ok(), "invalid engine options");
+  metrics_.SetKeepResults(options_.keep_results);
+  if (options_.metrics_window > 0) {
+    timeline_ = std::make_unique<TimelineRecorder>(options_.metrics_window);
+  }
   BuildSites();
 }
 
@@ -105,10 +110,20 @@ void Engine::BuildSites() {
     IssuerEvents events;
     events.on_commit = [this](const TxnResult& r) {
       metrics_.OnCommit(r);
+      if (timeline_ != nullptr) timeline_->OnCommit(r);
       committed_[r.id] = r.attempts;
       ++committed_count_;
       last_commit_ = sim_.Now();
-      if (committed_count_ == admitted_) stopped_ = true;
+      if (options_.run.commit_target != 0 &&
+          committed_count_ >= options_.run.commit_target) {
+        CloseAdmission();
+      }
+      if (arrival_deferred_ && !InflightAtCap()) {
+        // A slot freed up: the parked arrival enters at this commit time.
+        arrival_deferred_ = false;
+        AdmitPendingArrival();
+      }
+      if (committed_count_ == admitted_ && !StreamActive()) stopped_ = true;
       if (callbacks_.on_commit) callbacks_.on_commit(r);
     };
     events.on_request_sent = [this](Protocol p, OpType op) {
@@ -119,6 +134,7 @@ void Engine::BuildSites() {
     };
     events.on_restart = [this](Protocol p, TxnOutcome why) {
       metrics_.OnRestart(p, why);
+      if (timeline_ != nullptr) timeline_->OnRestart(sim_.Now(), p);
       if (callbacks_.on_restart) callbacks_.on_restart(p, why);
     };
     issuers_.push_back(std::make_unique<RequestIssuer>(
@@ -227,7 +243,7 @@ void Engine::RouteToDetectorSite(SiteId from, const Message& m) {
   }
 }
 
-Status Engine::AddTransaction(SimTime when, TxnSpec spec) {
+Status Engine::ValidateSpec(const TxnSpec& spec) const {
   if (Status s = spec.Validate(); !s.ok()) return s;
   if (spec.home >= options_.num_user_sites) {
     return Status::InvalidArgument("home is not a user site");
@@ -242,6 +258,11 @@ Status Engine::AddTransaction(SimTime when, TxnSpec spec) {
       return Status::InvalidArgument("write_set item out of range");
     }
   }
+  return Status::OK();
+}
+
+Status Engine::AddTransaction(SimTime when, TxnSpec spec) {
+  if (Status s = ValidateSpec(spec); !s.ok()) return s;
   ++admitted_;
   stopped_ = false;
   admission_pool_.push_back(std::move(spec));
@@ -255,14 +276,17 @@ void Engine::Admit(std::size_t pool_index) {
   // admission completes. The moved-out shells (a few dozen bytes each)
   // stay in the deque until the engine dies; only the heap payload is
   // bounded by peak in-flight admissions.
-  TxnSpec spec = std::move(admission_pool_[pool_index]);
+  AdmitSpec(std::move(admission_pool_[pool_index]), sim_.Now());
+}
+
+void Engine::AdmitSpec(TxnSpec spec, SimTime arrival) {
   if (policy_) spec.protocol = policy_(spec);
   if (options_.backend == BackendKind::kPure) {
     UNICC_CHECK_MSG(spec.protocol == options_.pure_protocol,
                     "pure backend cannot mix protocols");
   }
   txn_meta_[spec.id] = TxnMeta{spec.home, spec.protocol};
-  IssuerAt(spec.home)->Begin(spec);
+  IssuerAt(spec.home)->Begin(spec, arrival);
 }
 
 void Engine::SetCompute(TxnId txn, ComputeFn fn) {
@@ -283,10 +307,70 @@ Status Engine::AddWorkload(
   return Status::OK();
 }
 
+void Engine::SetArrivalStream(std::unique_ptr<ArrivalStream> stream) {
+  UNICC_CHECK_MSG(stream_ == nullptr && !StreamActive(),
+                  "an arrival stream is already installed");
+  stream_ = std::move(stream);
+  stopped_ = false;
+  PullNextArrival();
+}
+
+bool Engine::InflightAtCap() const {
+  return options_.run.max_inflight != 0 &&
+         admitted_ - committed_count_ >= options_.run.max_inflight;
+}
+
+void Engine::PullNextArrival() {
+  Arrival a;
+  if (stream_ != nullptr && stream_->Next(&a) &&
+      (options_.run.time_horizon == 0 ||
+       a.when <= options_.run.time_horizon)) {
+    next_arrival_ = std::move(a);
+    arrival_scheduled_ = true;
+    // A deferred arrival is admitted at commit time, which can run past
+    // the next arrival's timestamp; the gate never fires in the past.
+    const SimTime when = std::max(next_arrival_.when, sim_.Now());
+    next_arrival_event_ = sim_.ScheduleAt(when, [this] { OnArrivalDue(); });
+    return;
+  }
+  // Exhausted (or the next arrival is past the horizon): close the stream.
+  stream_.reset();
+  if (committed_count_ == admitted_) stopped_ = true;
+}
+
+void Engine::OnArrivalDue() {
+  arrival_scheduled_ = false;
+  if (InflightAtCap()) {
+    arrival_deferred_ = true;  // parked; the next commit admits it
+    return;
+  }
+  AdmitPendingArrival();
+}
+
+void Engine::AdmitPendingArrival() {
+  UNICC_CHECK_MSG(ValidateSpec(next_arrival_.spec).ok(),
+                  "arrival stream produced an invalid spec");
+  ++admitted_;
+  // A parked arrival enters late (at the freeing commit's time) but keeps
+  // its stream arrival timestamp, so system time includes the gate wait.
+  AdmitSpec(std::move(next_arrival_.spec),
+            std::min(next_arrival_.when, sim_.Now()));
+  PullNextArrival();
+}
+
+void Engine::CloseAdmission() {
+  if (arrival_scheduled_) {
+    sim_.Cancel(next_arrival_event_);
+    arrival_scheduled_ = false;
+  }
+  arrival_deferred_ = false;
+  stream_.reset();
+}
+
 RunSummary Engine::Run() {
   // With nothing pending the stop flag can never flip on a commit, and the
   // deadlock detector would re-schedule its tick forever.
-  if (committed_count_ == admitted_) stopped_ = true;
+  if (committed_count_ == admitted_ && !StreamActive()) stopped_ = true;
   sim_.RunToCompletion();
   UNICC_CHECK_MSG(committed_count_ == admitted_,
                   "run drained with uncommitted transactions");

@@ -19,11 +19,13 @@
 #include "common/status.h"
 #include "engine/config.h"
 #include "metrics/metrics.h"
+#include "metrics/timeline.h"
 #include "serializability/conflict_graph.h"
 #include "sim/simulator.h"
 #include "storage/catalog.h"
 #include "storage/log.h"
 #include "workload/generator.h"
+#include "workload/stream.h"
 
 namespace unicc {
 
@@ -70,15 +72,29 @@ class Engine {
   // the dynamic selector plugs in here.
   void SetProtocolPolicy(ProtocolPolicy policy);
 
-  // Convenience: admit a whole generated workload.
+  // Convenience: admit a whole generated workload (closed-batch mode:
+  // every arrival is scheduled up front).
   Status AddWorkload(const std::vector<WorkloadGenerator::Arrival>& arrivals);
 
-  // Runs the event loop until every admitted transaction committed and all
-  // residual protocol traffic drained. Returns the summary.
+  // Open-system mode: the engine pulls arrivals from `stream` lazily, one
+  // scheduled ahead at any time, so arbitrarily long streams need O(1)
+  // admission memory. Arrival times must be nondecreasing and specs valid
+  // (scenario- and generator-built streams are). Admission is bounded by
+  // options().run: `time_horizon` and `commit_target` close the gate,
+  // `max_inflight` holds an arrival at the gate until a commit frees a
+  // slot (it is then admitted at that commit's time). Call before Run();
+  // batch arrivals added via AddWorkload interleave with the stream.
+  void SetArrivalStream(std::unique_ptr<ArrivalStream> stream);
+
+  // Runs the event loop until every admitted transaction committed, the
+  // arrival stream (if any) is exhausted or closed by a run control, and
+  // all residual protocol traffic drained. Returns the summary.
   RunSummary Run();
 
   // --- post-run inspection --------------------------------------------
   const RunMetrics& metrics() const { return metrics_; }
+  // Windowed time-series, or nullptr when options().metrics_window is 0.
+  const TimelineRecorder* timeline() const { return timeline_.get(); }
   const ImplementationLog& log() const { return log_; }
   SerializabilityReport CheckSerializability() const;
   // Reads the value of every copy of `item`; all replicas must agree at
@@ -100,9 +116,31 @@ class Engine {
 
  private:
   void BuildSites();
+  Status ValidateSpec(const TxnSpec& spec) const;
   // Runs at a transaction's arrival time: applies the protocol policy and
   // hands the pooled spec to its home issuer.
   void Admit(std::size_t pool_index);
+  // Shared admission tail (policy application, directory entry, Begin).
+  // `arrival` (<= now) is the timestamp system time is measured from; it
+  // predates now only for arrivals the MPL cap parked at the gate.
+  void AdmitSpec(TxnSpec spec, SimTime arrival);
+  // --- streaming admission ---------------------------------------------
+  // Pulls the next arrival from the stream and schedules its gate event;
+  // closes the stream at exhaustion or past the time horizon.
+  void PullNextArrival();
+  // The gate event: admits the pending arrival, or parks it when the
+  // multiprogramming level is at the cap.
+  void OnArrivalDue();
+  // Admits the pending arrival now and pulls the next one.
+  void AdmitPendingArrival();
+  // Drops the stream and any pending arrival (commit target reached or
+  // horizon passed).
+  void CloseAdmission();
+  bool InflightAtCap() const;
+  // True while an arrival is still scheduled or parked at the gate.
+  bool StreamActive() const {
+    return arrival_scheduled_ || arrival_deferred_;
+  }
   void RouteToUserSite(SiteId site, SiteId from, const Message& m);
   void RouteToDataSite(SiteId site, SiteId from, const Message& m);
   void RouteToDetectorSite(SiteId from, const Message& m);
@@ -118,6 +156,7 @@ class Engine {
   std::unique_ptr<Catalog> catalog_;
   ImplementationLog log_;
   RunMetrics metrics_;
+  std::unique_ptr<TimelineRecorder> timeline_;
 
   SiteId detector_site_ = 0;
   std::vector<std::unique_ptr<RequestIssuer>> issuers_;        // per user site
@@ -141,6 +180,14 @@ class Engine {
   std::uint64_t committed_count_ = 0;
   SimTime last_commit_ = 0;
   bool stopped_ = false;
+
+  // Streaming admission state: at most one pulled-ahead arrival exists at
+  // any time (the bounded admission horizon).
+  std::unique_ptr<ArrivalStream> stream_;
+  Arrival next_arrival_;
+  std::uint64_t next_arrival_event_ = 0;
+  bool arrival_scheduled_ = false;  // gate event pending in the simulator
+  bool arrival_deferred_ = false;   // gate fired, parked by the MPL cap
 };
 
 }  // namespace unicc

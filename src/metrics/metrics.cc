@@ -11,8 +11,25 @@ void DurationStat::Add(Duration d) {
   ++count_;
   sum_ += static_cast<double>(d);
   max_ = std::max(max_, d);
-  samples_.push_back(d);
-  sorted_ = false;
+  if (samples_.size() < kMaxSamples) {
+    samples_.push_back(d);
+    sorted_ = false;
+    return;
+  }
+  // Algorithm R: keep the new value with probability kMaxSamples/count_,
+  // evicting a uniformly random retained sample. The replacement slot is
+  // uniform over positions, so it stays uniform even after a percentile
+  // query sorted the vector in place.
+  rng_state_ += 0x9e3779b97f4a7c15ull;  // splitmix64
+  std::uint64_t z = rng_state_;
+  z = (z ^ (z >> 30)) * 0xbf58476d1ce4e5b9ull;
+  z = (z ^ (z >> 27)) * 0x94d049bb133111ebull;
+  z ^= z >> 31;
+  const std::uint64_t slot = z % count_;
+  if (slot < kMaxSamples) {
+    samples_[static_cast<std::size_t>(slot)] = d;
+    sorted_ = false;
+  }
 }
 
 double DurationStat::MeanMs() const {
@@ -47,7 +64,7 @@ void RunMetrics::OnCommit(const TxnResult& r) {
   ps.system_time.Add(r.SystemTime());
   ps.backoff_rounds += r.backoffs;
   ps.restarts += r.attempts - 1;
-  results_.push_back(r);
+  if (keep_results_) results_.push_back(r);
 }
 
 void RunMetrics::OnRestart(Protocol proto, TxnOutcome why) {

@@ -13,9 +13,18 @@
 
 namespace unicc {
 
-// Streaming mean/min/max plus retained samples for percentiles.
+// Streaming mean/max plus retained samples for percentiles. The retained
+// set is bounded: up to kMaxSamples values are kept exactly; beyond that,
+// reservoir sampling (Vitter's algorithm R, with a fixed-seed generator so
+// runs stay reproducible) keeps a uniform sample of the whole stream, so
+// arbitrarily long open-system runs use O(1) memory per stat. Count, mean
+// and max are always exact; percentiles are exact up to kMaxSamples values
+// and a uniform-sample estimate after.
 class DurationStat {
  public:
+  // Retained-sample cap. Exact percentiles below it, reservoir above.
+  static constexpr std::size_t kMaxSamples = 4096;
+
   void Add(Duration d);
   std::uint64_t count() const { return count_; }
   double MeanMs() const;
@@ -26,6 +35,7 @@ class DurationStat {
   std::uint64_t count_ = 0;
   double sum_ = 0;
   Duration max_ = 0;
+  std::uint64_t rng_state_ = 0x9e3779b97f4a7c15ull;  // reservoir draws
   mutable std::vector<Duration> samples_;
   mutable bool sorted_ = true;
 };
@@ -39,6 +49,10 @@ struct ProtocolStats {
 
 class RunMetrics {
  public:
+  // Opt in to retaining every TxnResult (results()). Off by default: a
+  // long open-system run would otherwise grow memory per commit.
+  void SetKeepResults(bool keep) { keep_results_ = keep; }
+
   void OnCommit(const TxnResult& r);
   void OnRestart(Protocol proto, TxnOutcome why);
 
@@ -58,6 +72,8 @@ class RunMetrics {
   // Throughput in committed transactions per simulated second.
   double ThroughputPerSec(SimTime elapsed) const;
 
+  // Per-commit rows; empty unless SetKeepResults(true) was called before
+  // the run.
   const std::vector<TxnResult>& results() const { return results_; }
 
  private:
@@ -66,6 +82,7 @@ class RunMetrics {
   std::uint64_t total_committed_ = 0;
   std::uint64_t deadlock_restarts_ = 0;
   std::uint64_t reject_restarts_ = 0;
+  bool keep_results_ = false;
   std::vector<TxnResult> results_;
 };
 

@@ -1,0 +1,100 @@
+#include "metrics/timeline.h"
+
+#include <cstdio>
+
+#include "common/check.h"
+
+namespace unicc {
+
+TimelineRecorder::TimelineRecorder(Duration window) : window_(window) {
+  UNICC_CHECK_MSG(window_ > 0, "timeline window must be positive");
+}
+
+TimelineRecorder::WindowStats& TimelineRecorder::At(SimTime t) {
+  const std::size_t idx = static_cast<std::size_t>(t / window_);
+  while (windows_.size() <= idx) {
+    WindowStats w;
+    w.start = static_cast<SimTime>(windows_.size()) * window_;
+    windows_.push_back(std::move(w));
+  }
+  return windows_[idx];
+}
+
+void TimelineRecorder::OnCommit(const TxnResult& r) {
+  WindowStats& w = At(r.commit);
+  ++w.committed;
+  ++w.committed_by_proto[static_cast<std::size_t>(r.protocol)];
+  w.system_time.Add(r.SystemTime());
+}
+
+void TimelineRecorder::OnRestart(SimTime now, Protocol proto) {
+  ++At(now).restarts_by_proto[static_cast<std::size_t>(proto)];
+}
+
+std::string TimelineRecorder::ExportCsv() const {
+  std::string out =
+      "window,start_ms,end_ms,committed,throughput_tps,mean_s_ms,p99_s_ms,"
+      "committed_2pl,committed_to,committed_pa,"
+      "restarts_2pl,restarts_to,restarts_pa\n";
+  const double window_sec =
+      static_cast<double>(window_) / static_cast<double>(kSecond);
+  char buf[256];
+  for (std::size_t i = 0; i < windows_.size(); ++i) {
+    const WindowStats& w = windows_[i];
+    std::snprintf(
+        buf, sizeof(buf),
+        "%zu,%.3f,%.3f,%llu,%.3f,%.3f,%.3f,%llu,%llu,%llu,%llu,%llu,%llu\n",
+        i, static_cast<double>(w.start) / kMillisecond,
+        static_cast<double>(w.start + window_) / kMillisecond,
+        static_cast<unsigned long long>(w.committed),
+        static_cast<double>(w.committed) / window_sec,
+        w.system_time.MeanMs(), w.system_time.PercentileMs(99),
+        static_cast<unsigned long long>(w.committed_by_proto[0]),
+        static_cast<unsigned long long>(w.committed_by_proto[1]),
+        static_cast<unsigned long long>(w.committed_by_proto[2]),
+        static_cast<unsigned long long>(w.restarts_by_proto[0]),
+        static_cast<unsigned long long>(w.restarts_by_proto[1]),
+        static_cast<unsigned long long>(w.restarts_by_proto[2]));
+    out += buf;
+  }
+  return out;
+}
+
+std::string TimelineRecorder::ExportJson() const {
+  std::string out = "{\n  \"window_ms\": ";
+  char buf[256];
+  std::snprintf(buf, sizeof(buf), "%.3f",
+                static_cast<double>(window_) / kMillisecond);
+  out += buf;
+  out += ",\n  \"windows\": [\n";
+  const double window_sec =
+      static_cast<double>(window_) / static_cast<double>(kSecond);
+  for (std::size_t i = 0; i < windows_.size(); ++i) {
+    const WindowStats& w = windows_[i];
+    std::snprintf(
+        buf, sizeof(buf),
+        "    {\"window\": %zu, \"start_ms\": %.3f, \"committed\": %llu, "
+        "\"throughput_tps\": %.3f, \"mean_s_ms\": %.3f, \"p99_s_ms\": %.3f, ",
+        i, static_cast<double>(w.start) / kMillisecond,
+        static_cast<unsigned long long>(w.committed),
+        static_cast<double>(w.committed) / window_sec,
+        w.system_time.MeanMs(), w.system_time.PercentileMs(99));
+    out += buf;
+    std::snprintf(
+        buf, sizeof(buf),
+        "\"committed_by_protocol\": [%llu, %llu, %llu], "
+        "\"restarts_by_protocol\": [%llu, %llu, %llu]}%s\n",
+        static_cast<unsigned long long>(w.committed_by_proto[0]),
+        static_cast<unsigned long long>(w.committed_by_proto[1]),
+        static_cast<unsigned long long>(w.committed_by_proto[2]),
+        static_cast<unsigned long long>(w.restarts_by_proto[0]),
+        static_cast<unsigned long long>(w.restarts_by_proto[1]),
+        static_cast<unsigned long long>(w.restarts_by_proto[2]),
+        i + 1 == windows_.size() ? "" : ",");
+    out += buf;
+  }
+  out += "  ]\n}\n";
+  return out;
+}
+
+}  // namespace unicc

@@ -1,0 +1,67 @@
+// Windowed time-series metrics: commits, restarts and system-time
+// statistics bucketed into fixed-length windows of simulated time, so a
+// long (or phased) run is observable as a trajectory — per-window
+// throughput, mean/p99 system time and per-protocol counts — instead of
+// one end-of-run aggregate. This is the layer that makes the dynamic
+// selector's re-adaptation across a phase boundary visible.
+//
+// Windows are half-open [k*W, (k+1)*W): an event exactly on a boundary
+// belongs to the window the boundary opens. Memory is O(number of
+// windows); per-window percentile samples are bounded by DurationStat's
+// reservoir.
+#ifndef UNICC_METRICS_TIMELINE_H_
+#define UNICC_METRICS_TIMELINE_H_
+
+#include <array>
+#include <cstdint>
+#include <string>
+#include <vector>
+
+#include "common/types.h"
+#include "metrics/metrics.h"
+#include "txn/transaction.h"
+
+namespace unicc {
+
+class TimelineRecorder {
+ public:
+  explicit TimelineRecorder(Duration window);
+
+  // Buckets by r.commit. Event times must be nondecreasing overall only in
+  // the sense that windows are created on demand; late events in an
+  // earlier window are still counted there.
+  void OnCommit(const TxnResult& r);
+  void OnRestart(SimTime now, Protocol proto);
+
+  struct WindowStats {
+    SimTime start = 0;
+    std::uint64_t committed = 0;
+    std::array<std::uint64_t, kNumProtocols> committed_by_proto{};
+    std::array<std::uint64_t, kNumProtocols> restarts_by_proto{};
+    DurationStat system_time;
+  };
+
+  Duration window() const { return window_; }
+  // Windows from t=0 through the last one that saw an event; interior
+  // windows with no events are present (all-zero).
+  std::size_t NumWindows() const { return windows_.size(); }
+  const WindowStats& Window(std::size_t i) const { return windows_[i]; }
+
+  // One row per window. Columns:
+  //   window,start_ms,end_ms,committed,throughput_tps,mean_s_ms,p99_s_ms,
+  //   committed_2pl,committed_to,committed_pa,
+  //   restarts_2pl,restarts_to,restarts_pa
+  std::string ExportCsv() const;
+  // {"window_ms": W, "windows": [{...}, ...]} with the same fields.
+  std::string ExportJson() const;
+
+ private:
+  WindowStats& At(SimTime t);
+
+  Duration window_;
+  std::vector<WindowStats> windows_;
+};
+
+}  // namespace unicc
+
+#endif  // UNICC_METRICS_TIMELINE_H_

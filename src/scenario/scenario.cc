@@ -2,8 +2,10 @@
 
 #include <algorithm>
 #include <cstdlib>
+#include <memory>
 #include <utility>
 
+#include "common/check.h"
 #include "workload/access.h"
 #include "workload/arrival.h"
 
@@ -214,10 +216,92 @@ Status ParsePolicySection(const IniSection& sec, ScenarioPolicy* policy) {
         pos = comma + 1;
       }
       if (sum <= 0) return BadValue(e, "weights must not all be zero");
+    } else if (e.key == "estimator_window_ms") {
+      if (Status s = ParseMs(e, &policy->estimator_window); !s.ok()) {
+        return s;
+      }
     } else {
       return Status::InvalidArgument(Where(e) + "unknown [policy] key '" +
                                      e.key + "'");
     }
+  }
+  return Status::OK();
+}
+
+// Parses one workload knob into `c`. Sets *known=false (and succeeds) for
+// keys it does not handle — `txns` and `start_ms` are class-section-only
+// and stay in ParseClassSection, so a phase cannot override them. Phase
+// overrides reuse this parser: a phase can change exactly the knobs a
+// class section can set.
+Status ParseClassKey(const IniEntry& e, ScenarioClass* c, bool* known) {
+  *known = true;
+  std::uint64_t u = 0;
+  if (e.key == "arrival") {
+    if (e.value == "poisson") {
+      c->arrival = ScenarioClass::ArrivalKind::kPoisson;
+    } else if (e.value == "onoff") {
+      c->arrival = ScenarioClass::ArrivalKind::kOnOff;
+    } else {
+      return BadValue(e, "expected poisson/onoff");
+    }
+  } else if (e.key == "rate") {
+    if (Status s = ParseDouble(e, &c->rate); !s.ok()) return s;
+    if (c->rate <= 0) return BadValue(e, "must be > 0");
+  } else if (e.key == "off_rate") {
+    if (Status s = ParseDouble(e, &c->off_rate); !s.ok()) return s;
+    if (c->off_rate < 0) return BadValue(e, "must be >= 0");
+  } else if (e.key == "on_ms") {
+    if (Status s = ParseMs(e, &c->on_mean); !s.ok()) return s;
+  } else if (e.key == "off_ms") {
+    if (Status s = ParseMs(e, &c->off_mean); !s.ok()) return s;
+  } else if (e.key == "size") {
+    if (Status s = ParseSizeRange(e, &c->size_min, &c->size_max); !s.ok()) {
+      return s;
+    }
+  } else if (e.key == "read_fraction") {
+    if (Status s = ParseFraction(e, &c->read_fraction); !s.ok()) return s;
+  } else if (e.key == "access") {
+    if (e.value == "uniform") {
+      c->access = ScenarioClass::AccessKind::kUniform;
+    } else if (e.value == "zipf") {
+      c->access = ScenarioClass::AccessKind::kZipf;
+    } else if (e.value == "hotspot") {
+      c->access = ScenarioClass::AccessKind::kHotspot;
+    } else if (e.value == "partition") {
+      c->access = ScenarioClass::AccessKind::kPartition;
+    } else {
+      return BadValue(e, "expected uniform/zipf/hotspot/partition");
+    }
+  } else if (e.key == "theta") {
+    if (Status s = ParseDouble(e, &c->theta); !s.ok()) return s;
+    if (c->theta < 0) return BadValue(e, "must be >= 0");
+  } else if (e.key == "hot_items") {
+    if (Status s = ParseUint(e, &u); !s.ok()) return s;
+    if (u == 0) return BadValue(e, "must be >= 1");
+    c->hot_items = static_cast<ItemId>(u);
+  } else if (e.key == "hot_fraction") {
+    if (Status s = ParseFraction(e, &c->hot_fraction); !s.ok()) return s;
+  } else if (e.key == "partitions") {
+    if (Status s = ParseUint(e, &u); !s.ok()) return s;
+    if (u == 0) return BadValue(e, "must be >= 1");
+    c->partitions = static_cast<std::uint32_t>(u);
+  } else if (e.key == "cross_fraction") {
+    if (Status s = ParseFraction(e, &c->cross_fraction); !s.ok()) return s;
+  } else if (e.key == "compute_ms") {
+    if (Status s = ParseMs(e, &c->compute_time); !s.ok()) return s;
+  } else if (e.key == "backoff_interval") {
+    if (Status s = ParseUint(e, &c->backoff_interval); !s.ok()) return s;
+  } else if (e.key == "protocol") {
+    // `policy` releases a forced class back to the scenario policy (the
+    // way a phase un-forces a protocol forced earlier in the timeline).
+    if (e.value == "policy") {
+      c->has_protocol = false;
+    } else {
+      if (Status s = ParseProtocol(e, &c->protocol); !s.ok()) return s;
+      c->has_protocol = true;
+    }
+  } else {
+    *known = false;
   }
   return Status::OK();
 }
@@ -227,75 +311,22 @@ Status ParseClassSection(const IniSection& sec, const std::string& name,
   c->name = name;
   bool saw_txns = false, saw_rate = false;
   for (const IniEntry& e : sec.entries) {
-    std::uint64_t u = 0;
     if (e.key == "txns") {
       if (Status s = ParseUint(e, &c->txns); !s.ok()) return s;
       if (c->txns == 0) return BadValue(e, "must be >= 1");
       saw_txns = true;
-    } else if (e.key == "start_ms") {
+      continue;
+    }
+    if (e.key == "start_ms") {
       Duration d = 0;
       if (Status s = ParseMs(e, &d); !s.ok()) return s;
       c->start = d;
-    } else if (e.key == "arrival") {
-      if (e.value == "poisson") {
-        c->arrival = ScenarioClass::ArrivalKind::kPoisson;
-      } else if (e.value == "onoff") {
-        c->arrival = ScenarioClass::ArrivalKind::kOnOff;
-      } else {
-        return BadValue(e, "expected poisson/onoff");
-      }
-    } else if (e.key == "rate") {
-      if (Status s = ParseDouble(e, &c->rate); !s.ok()) return s;
-      if (c->rate <= 0) return BadValue(e, "must be > 0");
-      saw_rate = true;
-    } else if (e.key == "off_rate") {
-      if (Status s = ParseDouble(e, &c->off_rate); !s.ok()) return s;
-      if (c->off_rate < 0) return BadValue(e, "must be >= 0");
-    } else if (e.key == "on_ms") {
-      if (Status s = ParseMs(e, &c->on_mean); !s.ok()) return s;
-    } else if (e.key == "off_ms") {
-      if (Status s = ParseMs(e, &c->off_mean); !s.ok()) return s;
-    } else if (e.key == "size") {
-      if (Status s = ParseSizeRange(e, &c->size_min, &c->size_max); !s.ok()) {
-        return s;
-      }
-    } else if (e.key == "read_fraction") {
-      if (Status s = ParseFraction(e, &c->read_fraction); !s.ok()) return s;
-    } else if (e.key == "access") {
-      if (e.value == "uniform") {
-        c->access = ScenarioClass::AccessKind::kUniform;
-      } else if (e.value == "zipf") {
-        c->access = ScenarioClass::AccessKind::kZipf;
-      } else if (e.value == "hotspot") {
-        c->access = ScenarioClass::AccessKind::kHotspot;
-      } else if (e.value == "partition") {
-        c->access = ScenarioClass::AccessKind::kPartition;
-      } else {
-        return BadValue(e, "expected uniform/zipf/hotspot/partition");
-      }
-    } else if (e.key == "theta") {
-      if (Status s = ParseDouble(e, &c->theta); !s.ok()) return s;
-      if (c->theta < 0) return BadValue(e, "must be >= 0");
-    } else if (e.key == "hot_items") {
-      if (Status s = ParseUint(e, &u); !s.ok()) return s;
-      if (u == 0) return BadValue(e, "must be >= 1");
-      c->hot_items = static_cast<ItemId>(u);
-    } else if (e.key == "hot_fraction") {
-      if (Status s = ParseFraction(e, &c->hot_fraction); !s.ok()) return s;
-    } else if (e.key == "partitions") {
-      if (Status s = ParseUint(e, &u); !s.ok()) return s;
-      if (u == 0) return BadValue(e, "must be >= 1");
-      c->partitions = static_cast<std::uint32_t>(u);
-    } else if (e.key == "cross_fraction") {
-      if (Status s = ParseFraction(e, &c->cross_fraction); !s.ok()) return s;
-    } else if (e.key == "compute_ms") {
-      if (Status s = ParseMs(e, &c->compute_time); !s.ok()) return s;
-    } else if (e.key == "backoff_interval") {
-      if (Status s = ParseUint(e, &c->backoff_interval); !s.ok()) return s;
-    } else if (e.key == "protocol") {
-      if (Status s = ParseProtocol(e, &c->protocol); !s.ok()) return s;
-      c->has_protocol = true;
-    } else {
+      continue;
+    }
+    if (e.key == "rate") saw_rate = true;
+    bool known = false;
+    if (Status s = ParseClassKey(e, c, &known); !s.ok()) return s;
+    if (!known) {
       return Status::InvalidArgument(Where(e) + "unknown [class] key '" +
                                      e.key + "'");
     }
@@ -313,65 +344,218 @@ Status ParseClassSection(const IniSection& sec, const std::string& name,
   return Status::OK();
 }
 
+// Collects a [phase NAME] section: a required start_ms plus overrides.
+// Override keys are either plain class knobs (applied to every class) or
+// `CLASS.knob` (applied to that class only); they are validated against
+// the declared classes after the whole file is parsed, since classes may
+// be declared after phases.
+Status ParsePhaseSection(const IniSection& sec, const std::string& name,
+                         ScenarioPhase* ph) {
+  ph->name = name;
+  ph->line = sec.line;
+  bool saw_start = false;
+  for (const IniEntry& e : sec.entries) {
+    if (e.key == "start_ms") {
+      Duration d = 0;
+      if (Status s = ParseMs(e, &d); !s.ok()) return s;
+      ph->start = d;
+      saw_start = true;
+      continue;
+    }
+    ScenarioPhase::Override o;
+    o.entry = e;
+    const std::size_t dot = e.key.find('.');
+    if (dot != std::string::npos) {
+      o.class_name = e.key.substr(0, dot);
+      o.entry.key = e.key.substr(dot + 1);
+      if (o.class_name.empty() || o.entry.key.empty()) {
+        return Status::InvalidArgument(Where(e) + "bad override key '" +
+                                       e.key + "' (expected CLASS.knob)");
+      }
+    }
+    ph->overrides.push_back(std::move(o));
+  }
+  if (!saw_start) {
+    return Status::InvalidArgument("[phase " + name + "] (line " +
+                                   std::to_string(sec.line) +
+                                   "): missing 'start_ms'");
+  }
+  return Status::OK();
+}
+
+// Applies ph's overrides addressed at class `c` (plain keys or
+// `c->name.knob`). Parse/range errors carry the override's line.
+Status ApplyPhaseToClass(const ScenarioPhase& ph, ScenarioClass* c) {
+  for (const ScenarioPhase::Override& o : ph.overrides) {
+    if (!o.class_name.empty() && o.class_name != c->name) continue;
+    bool known = false;
+    if (Status s = ParseClassKey(o.entry, c, &known); !s.ok()) return s;
+    if (!known) {
+      return Status::InvalidArgument(
+          Where(o.entry) + "key '" + o.entry.key +
+          "' is not a phase-overridable class knob");
+    }
+  }
+  return Status::OK();
+}
+
+Status ParseRunSection(const IniSection& sec, EngineOptions* eo) {
+  for (const IniEntry& e : sec.entries) {
+    std::uint64_t u = 0;
+    if (e.key == "horizon_ms") {
+      Duration d = 0;
+      if (Status s = ParseMs(e, &d); !s.ok()) return s;
+      eo->run.time_horizon = d;
+    } else if (e.key == "commit_target") {
+      if (Status s = ParseUint(e, &eo->run.commit_target); !s.ok()) return s;
+    } else if (e.key == "max_inflight") {
+      if (Status s = ParseUint(e, &u); !s.ok()) return s;
+      eo->run.max_inflight = static_cast<std::uint32_t>(u);
+    } else if (e.key == "window_ms") {
+      if (Status s = ParseMs(e, &eo->metrics_window); !s.ok()) return s;
+    } else if (e.key == "keep_results") {
+      if (Status s = ParseBool(e, &eo->keep_results); !s.ok()) return s;
+    } else {
+      return Status::InvalidArgument(Where(e) + "unknown [run] key '" +
+                                     e.key + "'");
+    }
+  }
+  return Status::OK();
+}
+
+// Validates one (possibly phase-overridden) class configuration against
+// the engine's item count. `where` names the class and, for timeline
+// stages, the phase.
+Status ValidateClassWorkload(const ScenarioClass& c,
+                             const EngineOptions& engine,
+                             const std::string& where) {
+  if (c.size_max > engine.num_items) {
+    return Status::InvalidArgument(where + "size exceeds [engine] items");
+  }
+  if (c.arrival == ScenarioClass::ArrivalKind::kOnOff &&
+      (c.on_mean == 0 || c.off_mean == 0)) {
+    return Status::InvalidArgument(
+        where + "onoff arrivals need on_ms > 0 and off_ms > 0");
+  }
+  switch (c.access) {
+    case ScenarioClass::AccessKind::kUniform:
+    case ScenarioClass::AccessKind::kZipf:
+      break;
+    case ScenarioClass::AccessKind::kHotspot:
+      if (c.hot_items == 0 || c.hot_items >= engine.num_items) {
+        return Status::InvalidArgument(
+            where + "hotspot needs 1 <= hot_items < items");
+      }
+      if (c.hot_fraction >= 1.0 && c.size_max > c.hot_items) {
+        return Status::InvalidArgument(
+            where + "hot_fraction = 1 cannot fill size > hot_items");
+      }
+      if (c.hot_fraction <= 0.0 &&
+          c.size_max > engine.num_items - c.hot_items) {
+        return Status::InvalidArgument(
+            where + "hot_fraction = 0 cannot fill size > items - hot_items");
+      }
+      break;
+    case ScenarioClass::AccessKind::kPartition:
+      if (c.partitions > engine.num_items) {
+        return Status::InvalidArgument(where + "more partitions than items");
+      }
+      if (c.cross_fraction == 0 &&
+          c.size_max > engine.num_items / c.partitions) {
+        return Status::InvalidArgument(
+            where + "cross_fraction = 0 cannot fill size > items/partitions");
+      }
+      break;
+  }
+  return Status::OK();
+}
+
+// A pure backend serves exactly one protocol; any forced class protocol
+// must match it.
+Status ValidatePureProtocols(const std::vector<ScenarioClass>& classes,
+                             const EngineOptions& engine,
+                             const std::string& suffix) {
+  for (const ScenarioClass& c : classes) {
+    if (c.has_protocol && c.protocol != engine.pure_protocol) {
+      return Status::InvalidArgument(
+          "[class " + c.name +
+          "]: forced protocol conflicts with the pure backend" + suffix);
+    }
+  }
+  return Status::OK();
+}
+
+// Folds the timeline over the declared classes: every phase must have a
+// strictly increasing start, address only known classes and knobs, and
+// leave every class configuration valid.
+Status ValidateTimeline(const ScenarioSpec& spec) {
+  std::vector<ScenarioClass> effective = spec.classes;
+  bool first = true;
+  SimTime prev = 0;
+  for (const ScenarioPhase& ph : spec.phases) {
+    const std::string where =
+        "[phase " + ph.name + "] (line " + std::to_string(ph.line) + "): ";
+    if (!first && ph.start <= prev) {
+      return Status::InvalidArgument(
+          where + "start_ms must strictly increase across phases");
+    }
+    first = false;
+    prev = ph.start;
+    for (const ScenarioPhase::Override& o : ph.overrides) {
+      if (o.class_name.empty()) continue;
+      const bool exists =
+          std::any_of(spec.classes.begin(), spec.classes.end(),
+                      [&o](const ScenarioClass& c) {
+                        return c.name == o.class_name;
+                      });
+      if (!exists) {
+        return Status::InvalidArgument(Where(o.entry) + "unknown class '" +
+                                       o.class_name + "'");
+      }
+    }
+    for (ScenarioClass& c : effective) {
+      if (Status s = ApplyPhaseToClass(ph, &c); !s.ok()) return s;
+      if (Status s = ValidateClassWorkload(
+              c, spec.engine, where + "class " + c.name + ": ");
+          !s.ok()) {
+        return s;
+      }
+    }
+    if (spec.engine.backend == BackendKind::kPure) {
+      if (Status s = ValidatePureProtocols(effective, spec.engine,
+                                           " (" + where + "override)");
+          !s.ok()) {
+        return s;
+      }
+    }
+  }
+  return Status::OK();
+}
+
 // Checks constraints that span sections (class knobs against the engine's
-// item count, pure backend against the policy).
+// item count, pure backend against the policy, the phase timeline).
 Status CrossValidate(const ScenarioSpec& spec) {
   for (const ScenarioClass& c : spec.classes) {
-    const std::string where = "[class " + c.name + "]: ";
-    if (c.size_max > spec.engine.num_items) {
-      return Status::InvalidArgument(where +
-                                     "size exceeds [engine] items");
-    }
-    switch (c.access) {
-      case ScenarioClass::AccessKind::kUniform:
-      case ScenarioClass::AccessKind::kZipf:
-        break;
-      case ScenarioClass::AccessKind::kHotspot:
-        if (c.hot_items == 0 || c.hot_items >= spec.engine.num_items) {
-          return Status::InvalidArgument(
-              where + "hotspot needs 1 <= hot_items < items");
-        }
-        if (c.hot_fraction >= 1.0 && c.size_max > c.hot_items) {
-          return Status::InvalidArgument(
-              where + "hot_fraction = 1 cannot fill size > hot_items");
-        }
-        if (c.hot_fraction <= 0.0 &&
-            c.size_max > spec.engine.num_items - c.hot_items) {
-          return Status::InvalidArgument(
-              where + "hot_fraction = 0 cannot fill size > items - hot_items");
-        }
-        break;
-      case ScenarioClass::AccessKind::kPartition:
-        if (c.partitions > spec.engine.num_items) {
-          return Status::InvalidArgument(where +
-                                         "more partitions than items");
-        }
-        if (c.cross_fraction == 0 &&
-            c.size_max > spec.engine.num_items / c.partitions) {
-          return Status::InvalidArgument(
-              where +
-              "cross_fraction = 0 cannot fill size > items/partitions");
-        }
-        break;
+    if (Status s = ValidateClassWorkload(c, spec.engine,
+                                         "[class " + c.name + "]: ");
+        !s.ok()) {
+      return s;
     }
   }
   if (spec.engine.backend == BackendKind::kPure) {
-    // A pure backend serves exactly one protocol; every transaction must
-    // be steered to it.
+    // Every transaction must be steered to the pure backend's protocol.
     if (spec.policy.kind != ScenarioPolicy::Kind::kFixed ||
         spec.policy.fixed != spec.engine.pure_protocol) {
       return Status::InvalidArgument(
           "[engine] backend = pure requires [policy] kind = fixed with the "
           "same protocol");
     }
-    for (const ScenarioClass& c : spec.classes) {
-      if (c.has_protocol && c.protocol != spec.engine.pure_protocol) {
-        return Status::InvalidArgument(
-            "[class " + c.name +
-            "]: forced protocol conflicts with the pure backend");
-      }
+    if (Status s = ValidatePureProtocols(spec.classes, spec.engine, "");
+        !s.ok()) {
+      return s;
     }
   }
+  if (Status s = ValidateTimeline(spec); !s.ok()) return s;
   return spec.engine.Validate();
 }
 
@@ -408,6 +592,7 @@ std::unique_ptr<AccessPattern> MakeAccess(const ScenarioClass& c,
 StatusOr<ScenarioSpec> ScenarioSpec::FromIni(const IniFile& ini) {
   ScenarioSpec spec;
   constexpr char kClassPrefix[] = "class ";
+  constexpr char kPhasePrefix[] = "phase ";
   for (const IniSection& sec : ini.sections()) {
     if (sec.name == "scenario") {
       if (Status s = ParseScenarioSection(sec, &spec); !s.ok()) return s;
@@ -415,6 +600,8 @@ StatusOr<ScenarioSpec> ScenarioSpec::FromIni(const IniFile& ini) {
       if (Status s = ParseEngineSection(sec, &spec.engine); !s.ok()) return s;
     } else if (sec.name == "policy") {
       if (Status s = ParsePolicySection(sec, &spec.policy); !s.ok()) return s;
+    } else if (sec.name == "run") {
+      if (Status s = ParseRunSection(sec, &spec.engine); !s.ok()) return s;
     } else if (sec.name.rfind(kClassPrefix, 0) == 0) {
       std::string name = sec.name.substr(sizeof(kClassPrefix) - 1);
       for (const ScenarioClass& c : spec.classes) {
@@ -426,10 +613,22 @@ StatusOr<ScenarioSpec> ScenarioSpec::FromIni(const IniFile& ini) {
       ScenarioClass c;
       if (Status s = ParseClassSection(sec, name, &c); !s.ok()) return s;
       spec.classes.push_back(std::move(c));
+    } else if (sec.name.rfind(kPhasePrefix, 0) == 0) {
+      std::string name = sec.name.substr(sizeof(kPhasePrefix) - 1);
+      for (const ScenarioPhase& p : spec.phases) {
+        if (p.name == name) {
+          return Status::InvalidArgument("line " + std::to_string(sec.line) +
+                                         ": duplicate phase '" + name + "'");
+        }
+      }
+      ScenarioPhase ph;
+      if (Status s = ParsePhaseSection(sec, name, &ph); !s.ok()) return s;
+      spec.phases.push_back(std::move(ph));
     } else {
       return Status::InvalidArgument(
           "line " + std::to_string(sec.line) + ": unknown section [" +
-          sec.name + "] (expected scenario/engine/policy/class NAME)");
+          sec.name +
+          "] (expected scenario/engine/policy/run/class NAME/phase NAME)");
     }
   }
   if (spec.classes.empty()) {
@@ -457,81 +656,165 @@ std::uint64_t ScenarioSpec::TotalTxns() const {
   return total;
 }
 
-ScenarioSpec::Workload ScenarioSpec::BuildWorkload() const {
-  struct Pending {
-    WorkloadGenerator::Arrival arrival;
-    std::size_t class_index;
-    std::uint64_t seq;
-    bool forced;
-  };
-  std::vector<Pending> pending;
-  pending.reserve(TotalTxns());
+namespace {
 
-  for (std::size_t ci = 0; ci < classes.size(); ++ci) {
-    const ScenarioClass& c = classes[ci];
-    // Each class gets its own deterministic stream so editing one class
-    // leaves the other classes' draws untouched.
-    Rng rng(engine.seed ^ (0x9e3779b97f4a7c15ull * (ci + 1)));
-    auto arrivals = MakeArrivals(c);
-    auto access = MakeAccess(c, engine.num_items);
-    double t = static_cast<double>(c.start);
-    for (std::uint64_t n = 0; n < c.txns; ++n) {
-      t += arrivals->NextGapUs(rng);
-      Pending p;
-      p.class_index = ci;
-      p.seq = n;
-      p.forced = c.has_protocol;
-      p.arrival.when = static_cast<SimTime>(t);
-      TxnSpec& spec = p.arrival.spec;
-      spec.home =
-          static_cast<SiteId>(rng.UniformInt(engine.num_user_sites));
-      spec.compute_time = c.compute_time;
-      spec.backoff_interval = c.backoff_interval;
-      if (c.has_protocol) spec.protocol = c.protocol;
-      const std::uint32_t size = static_cast<std::uint32_t>(
-          rng.UniformRange(c.size_min, c.size_max));
-      std::vector<ItemId> items;
-      items.reserve(size);
-      while (items.size() < size) {  // retry duplicate draws
-        const ItemId item = access->Next(rng, spec.home);
-        if (std::find(items.begin(), items.end(), item) == items.end()) {
-          items.push_back(item);
-        }
-      }
-      for (ItemId item : items) {
-        if (rng.Bernoulli(c.read_fraction)) {
-          spec.read_set.push_back(item);
-        } else {
-          spec.write_set.push_back(item);
-        }
-      }
-      pending.push_back(std::move(p));
+// Lazy generator for one class: draws one arrival per pull from the
+// class's own deterministic Rng (seeded from engine.seed and the class
+// index, so editing one class leaves the other classes' draws untouched).
+// When the class clock crosses a phase start, the phase's overrides are
+// folded into the working configuration and the arrival process / access
+// pattern are rebuilt (the Rng continues, keeping the run deterministic);
+// the first gap drawn after the crossing uses the new configuration, so
+// one in-flight gap may straddle the boundary.
+class ClassArrivalGen {
+ public:
+  ClassArrivalGen(const ScenarioSpec& spec, std::size_t class_index)
+      : spec_(&spec),
+        config_(spec.classes[class_index]),
+        rng_(spec.engine.seed ^ (0x9e3779b97f4a7c15ull * (class_index + 1))),
+        t_(static_cast<double>(config_.start)) {
+    Rebuild();
+  }
+
+  // Draws the next arrival (id unassigned; the merge assigns it). Returns
+  // false once the class's txns budget is spent. `*forced` reports
+  // whether the configuration active at this arrival forces a protocol.
+  bool Next(Arrival* out, bool* forced) {
+    if (emitted_ == config_.txns) return false;
+    while (next_phase_ < spec_->phases.size() &&
+           t_ >= static_cast<double>(spec_->phases[next_phase_].start)) {
+      // Validated when the spec was parsed; cannot fail here.
+      UNICC_CHECK(
+          ApplyPhaseToClass(spec_->phases[next_phase_], &config_).ok());
+      Rebuild();
+      ++next_phase_;
     }
+    t_ += arrivals_->NextGapUs(rng_);
+    ++emitted_;
+    out->when = static_cast<SimTime>(t_);
+    out->spec = TxnSpec();
+    TxnSpec& spec = out->spec;
+    spec.home =
+        static_cast<SiteId>(rng_.UniformInt(spec_->engine.num_user_sites));
+    spec.compute_time = config_.compute_time;
+    spec.backoff_interval = config_.backoff_interval;
+    if (config_.has_protocol) spec.protocol = config_.protocol;
+    const std::uint32_t size = static_cast<std::uint32_t>(
+        rng_.UniformRange(config_.size_min, config_.size_max));
+    std::vector<ItemId> items;
+    items.reserve(size);
+    while (items.size() < size) {  // retry duplicate draws
+      const ItemId item = access_->Next(rng_, spec.home);
+      if (std::find(items.begin(), items.end(), item) == items.end()) {
+        items.push_back(item);
+      }
+    }
+    for (ItemId item : items) {
+      if (rng_.Bernoulli(config_.read_fraction)) {
+        spec.read_set.push_back(item);
+      } else {
+        spec.write_set.push_back(item);
+      }
+    }
+    *forced = config_.has_protocol;
+    return true;
   }
 
-  // Global time order; ties broken by (class, sequence) so the merge is
-  // deterministic. Ids are assigned in admission order.
-  std::sort(pending.begin(), pending.end(),
-            [](const Pending& a, const Pending& b) {
-              if (a.arrival.when != b.arrival.when) {
-                return a.arrival.when < b.arrival.when;
-              }
-              if (a.class_index != b.class_index) {
-                return a.class_index < b.class_index;
-              }
-              return a.seq < b.seq;
-            });
-
-  Workload out;
-  out.arrivals.reserve(pending.size());
-  out.forced = std::make_shared<std::unordered_set<TxnId>>();
-  TxnId next_id = 1;
-  for (Pending& p : pending) {
-    p.arrival.spec.id = next_id++;
-    if (p.forced) out.forced->insert(p.arrival.spec.id);
-    out.arrivals.push_back(std::move(p.arrival));
+ private:
+  void Rebuild() {
+    arrivals_ = MakeArrivals(config_);
+    access_ = MakeAccess(config_, spec_->engine.num_items);
   }
+
+  const ScenarioSpec* spec_;
+  ScenarioClass config_;  // working copy; phases fold into it
+  Rng rng_;
+  std::unique_ptr<ArrivalProcess> arrivals_;
+  std::unique_ptr<AccessPattern> access_;
+  double t_;
+  std::uint64_t emitted_ = 0;
+  std::size_t next_phase_ = 0;
+};
+
+// Merges the per-class generators in time order (ties to the lower class
+// index, matching the closed-batch sort order of old BuildWorkload
+// builds) and assigns ids 1..N at pull time. Holds one buffered arrival
+// per class — O(classes) memory however long the run.
+class ScenarioStream final : public ArrivalStream {
+ public:
+  explicit ScenarioStream(const ScenarioSpec& spec)
+      : spec_(std::make_unique<ScenarioSpec>(spec)),
+        forced_(std::make_shared<std::unordered_set<TxnId>>()) {
+    for (std::size_t i = 0; i < spec_->classes.size(); ++i) {
+      gens_.emplace_back(*spec_, i);
+    }
+    slots_.resize(gens_.size());
+  }
+
+  std::shared_ptr<std::unordered_set<TxnId>> forced() const {
+    return forced_;
+  }
+
+  bool Next(Arrival* out) override {
+    std::size_t best = gens_.size();
+    for (std::size_t i = 0; i < gens_.size(); ++i) {
+      Slot& s = slots_[i];
+      if (!s.filled && !s.done) {
+        s.done = !gens_[i].Next(&s.arrival, &s.forced);
+        s.filled = !s.done;
+      }
+      if (s.filled && (best == gens_.size() ||
+                       s.arrival.when < slots_[best].arrival.when)) {
+        best = i;
+      }
+    }
+    if (best == gens_.size()) return false;
+    Slot& s = slots_[best];
+    *out = std::move(s.arrival);
+    s.filled = false;
+    out->spec.id = next_id_++;
+    if (s.forced) forced_->insert(out->spec.id);
+    return true;
+  }
+
+ private:
+  struct Slot {
+    Arrival arrival;
+    bool forced = false;
+    bool filled = false;
+    bool done = false;
+  };
+
+  std::unique_ptr<ScenarioSpec> spec_;  // owned copy; gens_ point into it
+  std::vector<ClassArrivalGen> gens_;
+  std::vector<Slot> slots_;
+  std::shared_ptr<std::unordered_set<TxnId>> forced_;
+  TxnId next_id_ = 1;
+};
+
+}  // namespace
+
+ScenarioSpec::OpenWorkload ScenarioSpec::Open() const {
+  auto stream = std::make_unique<ScenarioStream>(*this);
+  OpenWorkload out;
+  out.forced = stream->forced();
+  out.stream = std::move(stream);
   return out;
+}
+
+ScenarioSpec::Workload ScenarioSpec::BuildWorkload() const {
+  OpenWorkload ow = Open();
+  Workload out;
+  const auto total = static_cast<std::size_t>(TotalTxns());
+  out.arrivals = DrainStream(*ow.stream, total);
+  UNICC_CHECK(out.arrivals.size() == total);
+  out.forced = std::move(ow.forced);
+  return out;
+}
+
+bool ScenarioSpec::IsOpenSystem() const {
+  return engine.run.time_horizon != 0 || engine.run.commit_target != 0 ||
+         engine.run.max_inflight != 0;
 }
 
 ProtocolPolicy ForcedAwarePolicy(

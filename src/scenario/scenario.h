@@ -3,11 +3,14 @@
 // from a small INI file instead of hard-coded C++. See docs/scenarios.md
 // for the file-format reference and scenarios/ for shipped examples.
 //
-// A scenario has one [engine] section, an optional [policy] section and
-// one or more [class NAME] sections. Each class is an independent stream
-// of transactions with its own arrival process (Poisson or bursty on-off),
-// size distribution, access pattern (uniform / zipf / hotspot /
-// partition), read fraction and optional forced protocol.
+// A scenario has one [engine] section, an optional [policy] section, one
+// or more [class NAME] sections and an optional timeline of [phase NAME]
+// sections. Each class is an independent stream of transactions with its
+// own arrival process (Poisson or bursty on-off), size distribution,
+// access pattern (uniform / zipf / hotspot / partition), read fraction
+// and optional forced protocol. Each phase overrides class knobs from its
+// start time onward, so one scenario can model a workload whose rate,
+// skew or mix shifts mid-run.
 #ifndef UNICC_SCENARIO_SCENARIO_H_
 #define UNICC_SCENARIO_SCENARIO_H_
 
@@ -20,6 +23,7 @@
 #include "engine/config.h"
 #include "scenario/ini.h"
 #include "workload/generator.h"
+#include "workload/stream.h"
 
 namespace unicc {
 
@@ -37,6 +41,11 @@ struct ScenarioPolicy {
   Kind kind = Kind::kFixed;
   Protocol fixed = Protocol::kTwoPhaseLocking;  // kFixed only
   double weights[kNumProtocols] = {1, 1, 1};    // kMix only
+  // Sliding-window decay for the online parameter estimator: statistics
+  // older than roughly this window fade out, so STL estimates re-converge
+  // after a phase shift instead of averaging over the whole run.
+  // 0 disables decay (the estimator averages over everything).
+  Duration estimator_window = 0;
 };
 
 // One workload class: a stream of structurally similar transactions.
@@ -79,6 +88,21 @@ struct ScenarioClass {
   Protocol protocol = Protocol::kTwoPhaseLocking;
 };
 
+// One timeline phase: from `start` onward every override replaces a class
+// workload knob. Overrides compose cumulatively across phases; a plain
+// key applies to every class, `CLASS.key` to one class only.
+struct ScenarioPhase {
+  std::string name;
+  int line = 0;      // of the section header, for diagnostics
+  SimTime start = 0; // required, strictly increasing across phases
+
+  struct Override {
+    std::string class_name;  // empty: applies to all classes
+    IniEntry entry;          // key (without the class prefix) and value
+  };
+  std::vector<Override> overrides;
+};
+
 // A parsed, validated scenario.
 struct ScenarioSpec {
   std::string name;
@@ -86,6 +110,7 @@ struct ScenarioSpec {
   EngineOptions engine;
   ScenarioPolicy policy;
   std::vector<ScenarioClass> classes;
+  std::vector<ScenarioPhase> phases;
 
   // Parsing. Every key is validated: unknown sections/keys, unparsable
   // values and out-of-range settings are InvalidArgument with the line
@@ -95,21 +120,37 @@ struct ScenarioSpec {
   static StatusOr<ScenarioSpec> Parse(const std::string& text);
   static StatusOr<ScenarioSpec> LoadFile(const std::string& path);
 
-  // The generated workload: arrivals of all classes merged in time order
-  // with ids 1..N, plus the ids whose protocol a class forces. Fully
-  // deterministic in engine.seed.
+  // The lazy open-system form of the workload: a pull-based stream of all
+  // classes merged in time order with ids 1..N assigned at pull time, plus
+  // the set of forced-protocol ids, filled as the stream emits them. Fully
+  // deterministic in engine.seed; O(classes) memory.
+  struct OpenWorkload {
+    std::unique_ptr<ArrivalStream> stream;
+    std::shared_ptr<std::unordered_set<TxnId>> forced;
+  };
+  OpenWorkload Open() const;
+
+  // The materialized workload (the stream drained into a vector); the
+  // closed-batch paths and trace recording use this form.
   struct Workload {
     std::vector<WorkloadGenerator::Arrival> arrivals;
     std::shared_ptr<std::unordered_set<TxnId>> forced;
   };
   Workload BuildWorkload() const;
 
+  // True when the scenario uses open-system run controls (admission
+  // horizon, committed-count stop, MPL cap) and should be run through
+  // streaming admission rather than batch pre-admission.
+  bool IsOpenSystem() const;
+
   std::uint64_t TotalTxns() const;
 };
 
 // Wraps a base protocol policy so transactions in `forced` keep the
 // protocol already in their spec. `base` may be null (behaves like
-// ScenarioPolicy::Kind::kTrace for unforced transactions).
+// ScenarioPolicy::Kind::kTrace for unforced transactions). The forced set
+// may keep growing while a scenario stream is being admitted; it is read
+// at admission time, after the id has been inserted.
 ProtocolPolicy ForcedAwarePolicy(
     ProtocolPolicy base,
     std::shared_ptr<const std::unordered_set<TxnId>> forced);

@@ -103,7 +103,8 @@ void ParamEstimator::OnLockHold(Protocol proto, Duration held, bool aborted) {
 
 void ParamEstimator::OnCommit(const TxnResult& r) {
   ++commits_;
-  committed_requests_ += r.num_requests;
+  ++exact_commits_;
+  committed_requests_ += static_cast<double>(r.num_requests);
   if (r.protocol == Protocol::kTwoPhaseLocking) {
     incarnations_2pl_ += r.attempts;
   }
@@ -116,26 +117,49 @@ void ParamEstimator::OnRestart(Protocol proto, TxnOutcome why) {
   }
 }
 
+void ParamEstimator::DecayTo(SimTime now) const {
+  if (decay_window_ == 0 || now <= decayed_to_) return;
+  const double w = static_cast<double>(decay_window_);
+  const double dt = static_cast<double>(now - decayed_to_);
+  const double f = std::exp(-dt / w);
+  for (auto& per_op : requests_) {
+    for (double& v : per_op) v *= f;
+  }
+  for (auto& per_op : negatives_) {
+    for (double& v : per_op) v *= f;
+  }
+  for (auto& pair : lock_time_) {
+    for (Mean& m : pair) m.Decay(f);
+  }
+  incarnations_2pl_ *= f;
+  deadlock_aborts_ *= f;
+  for (double& v : grants_) v *= f;
+  read_requests_ *= f;
+  write_requests_ *= f;
+  commits_ *= f;
+  committed_requests_ *= f;
+  weighted_us_ = weighted_us_ * f + w * (1 - f);
+  decayed_to_ = now;
+}
+
 SystemParams ParamEstimator::Snapshot(SimTime elapsed,
                                       std::size_t num_queues) const {
+  DecayTo(elapsed);
   SystemParams sys;
+  const double us = decay_window_ == 0 ? static_cast<double>(elapsed)
+                                       : weighted_us_;
   const double secs =
-      std::max(static_cast<double>(elapsed) / static_cast<double>(kSecond),
-               1e-6);
+      std::max(us / static_cast<double>(kSecond), 1e-6);
   const double nq = std::max<double>(1, static_cast<double>(num_queues));
-  const double read_rate = static_cast<double>(grants_[0]) / secs;
-  const double write_rate = static_cast<double>(grants_[1]) / secs;
+  const double read_rate = grants_[0] / secs;
+  const double write_rate = grants_[1] / secs;
   sys.lambda_r = read_rate / nq;
   sys.lambda_w = write_rate / nq;
   sys.lambda_a = std::max(read_rate + write_rate, 1e-3);
-  const double total_reqs =
-      static_cast<double>(read_requests_ + write_requests_);
-  sys.q_r = total_reqs > 0
-                ? static_cast<double>(read_requests_) / total_reqs
-                : 0.5;
+  const double total_reqs = read_requests_ + write_requests_;
+  sys.q_r = total_reqs > 0 ? read_requests_ / total_reqs : 0.5;
   sys.k_avg = commits_ > 0
-                  ? std::max(1.0, static_cast<double>(committed_requests_) /
-                                      static_cast<double>(commits_))
+                  ? std::max(1.0, committed_requests_ / commits_)
                   : 4.0;
   return sys;
 }
@@ -147,16 +171,14 @@ ProtocolParams ParamEstimator::For(Protocol proto) const {
   p.u_lock_aborted = lt[1].Get(p.u_lock * 0.5);
   const auto& req = requests_[Idx(proto)];
   const auto& neg = negatives_[Idx(proto)];
-  auto ratio = [](std::uint64_t num, std::uint64_t den) {
-    return den == 0 ? 0.0
-                    : static_cast<double>(num) / static_cast<double>(den);
+  auto ratio = [](double num, double den) {
+    return den <= 0 ? 0.0 : num / den;
   };
   if (proto == Protocol::kTwoPhaseLocking) {
-    p.p_abort = incarnations_2pl_ == 0
+    p.p_abort = incarnations_2pl_ <= 0
                     ? 0.0
-                    : static_cast<double>(deadlock_aborts_) /
-                          static_cast<double>(incarnations_2pl_ +
-                                              deadlock_aborts_);
+                    : deadlock_aborts_ /
+                          (incarnations_2pl_ + deadlock_aborts_);
   } else {
     p.p_reject_read = ratio(neg[0], req[0]);
     p.p_reject_write = ratio(neg[1], req[1]);

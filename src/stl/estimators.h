@@ -52,9 +52,24 @@ double StlPa(const StlEvaluator& ev, TxnShape shape,
 
 // Online measurement of SystemParams and ProtocolParams. Wire its On*
 // methods into EngineCallbacks; snapshots are cheap.
+//
+// With SetDecayWindow(W > 0) the estimator becomes a sliding window:
+// every accumulator fades by exp(-dt/W) as simulated time advances, so
+// statistics older than a few W no longer weigh on the estimates and the
+// STL model re-converges after a workload phase shift instead of
+// averaging over the whole run. The decay clock is advanced lazily by
+// Snapshot() (the selector calls it on every cache refresh); events are
+// taken in at full weight and start fading from the next snapshot on.
+// W = 0 (the default) disables decay: run-total averages, bit-identical
+// to the pre-windowed behaviour.
 class ParamEstimator {
  public:
   ParamEstimator() = default;
+
+  // 0 disables decay. Set before the run; changing it mid-run only
+  // affects subsequent decay steps.
+  void SetDecayWindow(Duration window) { decay_window_ = window; }
+  Duration decay_window() const { return decay_window_; }
 
   // --- event intake ----------------------------------------------------
   void OnRequestSent(Protocol proto, OpType op);
@@ -67,43 +82,64 @@ class ParamEstimator {
 
   // --- snapshots --------------------------------------------------------
   // `elapsed` is total simulated time so far; `num_queues` the number of
-  // physical copies (for per-queue throughput averages).
+  // physical copies (for per-queue throughput averages). Advances the
+  // decay clock to `elapsed` when a decay window is set.
   SystemParams Snapshot(SimTime elapsed, std::size_t num_queues) const;
   ProtocolParams For(Protocol proto) const;
 
-  std::uint64_t total_commits() const { return commits_; }
+  // Exact run-total commit count; never decayed.
+  std::uint64_t total_commits() const { return exact_commits_; }
 
  private:
   struct Mean {
     double sum = 0;
-    std::uint64_t n = 0;
+    double n = 0;
     void Add(double v) {
       sum += v;
       ++n;
     }
+    void Decay(double f) {
+      sum *= f;
+      n *= f;
+    }
     double Get(double fallback) const {
-      return n == 0 ? fallback : sum / static_cast<double>(n);
+      return n <= 0 ? fallback : sum / n;
     }
   };
 
   static std::size_t Idx(Protocol p) { return static_cast<std::size_t>(p); }
 
+  // Multiplies every accumulator by exp(-(now - decayed_to_)/window).
+  // Lazily invoked from Snapshot(); mutable state, conceptually a cache
+  // of "the statistics as seen from `now`".
+  void DecayTo(SimTime now) const;
+
+  Duration decay_window_ = 0;
+  mutable SimTime decayed_to_ = 0;
+  // Decayed observation time in simulated microseconds: the effective
+  // length of the sliding window, W*(1 - exp(-T/W)) after T of run time.
+  // Rate estimates divide by this instead of total elapsed time.
+  mutable double weighted_us_ = 0;
+
+  // Accumulators are doubles so they can fade; without decay they hold
+  // exact integer counts (all well below 2^53).
   // Per protocol, per op type: requests sent / negative responses.
-  std::array<std::array<std::uint64_t, 2>, kNumProtocols> requests_{};
-  std::array<std::array<std::uint64_t, 2>, kNumProtocols> negatives_{};
+  mutable std::array<std::array<double, 2>, kNumProtocols> requests_{};
+  mutable std::array<std::array<double, 2>, kNumProtocols> negatives_{};
   // Lock-time means per protocol x {committed, aborted}.
-  std::array<std::array<Mean, 2>, kNumProtocols> lock_time_{};
+  mutable std::array<std::array<Mean, 2>, kNumProtocols> lock_time_{};
   // 2PL incarnations and deadlock aborts.
-  std::uint64_t incarnations_2pl_ = 0;
-  std::uint64_t deadlock_aborts_ = 0;
+  mutable double incarnations_2pl_ = 0;
+  mutable double deadlock_aborts_ = 0;
   // Grant throughput by op type.
-  std::array<std::uint64_t, 2> grants_{};
+  mutable std::array<double, 2> grants_{};
   // Request mix.
-  std::uint64_t read_requests_ = 0;
-  std::uint64_t write_requests_ = 0;
+  mutable double read_requests_ = 0;
+  mutable double write_requests_ = 0;
   // K estimation.
-  std::uint64_t commits_ = 0;
-  std::uint64_t committed_requests_ = 0;
+  mutable double commits_ = 0;
+  mutable double committed_requests_ = 0;
+  std::uint64_t exact_commits_ = 0;
 };
 
 }  // namespace unicc

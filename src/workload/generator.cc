@@ -25,62 +25,97 @@ ProtocolPolicy MixedProtocol(double w_2pl, double w_to, double w_pa,
   };
 }
 
+namespace {
+
+class GeneratorStream final : public ArrivalStream {
+ public:
+  GeneratorStream(WorkloadOptions options, ItemId num_items,
+                  std::uint32_t num_user_sites, Rng rng)
+      : options_(options),
+        num_items_(num_items),
+        num_user_sites_(num_user_sites),
+        rng_(rng),
+        zipf_(num_items, options.zipf_theta),
+        mean_gap_us_(1e6 / options.arrival_rate_per_sec) {
+    UNICC_CHECK(options_.arrival_rate_per_sec > 0);
+    UNICC_CHECK(options_.size_min >= 1 &&
+                options_.size_min <= options_.size_max);
+    UNICC_CHECK(options_.size_max <= num_items);
+    UNICC_CHECK(options_.read_fraction >= 0 &&
+                options_.read_fraction <= 1);
+    UNICC_CHECK(num_user_sites_ > 0);
+  }
+
+  bool Next(Arrival* out) override {
+    if (next_id_ > options_.num_txns) return false;
+    t_ += rng_.Exponential(mean_gap_us_);
+    out->when = static_cast<SimTime>(t_);
+    out->spec = MakeSpec(next_id_++);
+    return true;
+  }
+
+ private:
+  TxnSpec MakeSpec(TxnId id) {
+    TxnSpec spec;
+    spec.id = id;
+    spec.home = static_cast<SiteId>(rng_.UniformInt(num_user_sites_));
+    spec.compute_time = options_.compute_time;
+    const std::uint32_t size = static_cast<std::uint32_t>(
+        rng_.UniformRange(options_.size_min, options_.size_max));
+    // Draw `size` distinct items (Zipfian draws retried on duplicates).
+    std::vector<ItemId> items;
+    items.reserve(size);
+    while (items.size() < size) {
+      const ItemId item = static_cast<ItemId>(zipf_.Next(rng_));
+      if (std::find(items.begin(), items.end(), item) == items.end()) {
+        items.push_back(item);
+      }
+    }
+    for (ItemId item : items) {
+      if (rng_.Bernoulli(options_.read_fraction)) {
+        spec.read_set.push_back(item);
+      } else {
+        spec.write_set.push_back(item);
+      }
+    }
+    // Every transaction must access at least one item in some mode; the
+    // split above guarantees that because `items` is non-empty.
+    return spec;
+  }
+
+  WorkloadOptions options_;
+  ItemId num_items_;
+  std::uint32_t num_user_sites_;
+  Rng rng_;
+  ZipfGenerator zipf_;
+  double mean_gap_us_;  // exponential inter-arrival mean
+  double t_ = 0;
+  TxnId next_id_ = 1;
+};
+
+}  // namespace
+
+std::unique_ptr<ArrivalStream> MakeGeneratorStream(
+    WorkloadOptions options, ItemId num_items, std::uint32_t num_user_sites,
+    Rng rng) {
+  return std::make_unique<GeneratorStream>(options, num_items,
+                                           num_user_sites, rng);
+}
+
 WorkloadGenerator::WorkloadGenerator(WorkloadOptions options,
                                      ItemId num_items,
                                      std::uint32_t num_user_sites, Rng rng)
     : options_(options),
       num_items_(num_items),
       num_user_sites_(num_user_sites),
-      rng_(rng),
-      zipf_(num_items, options.zipf_theta) {
-  UNICC_CHECK(options_.arrival_rate_per_sec > 0);
-  UNICC_CHECK(options_.size_min >= 1 && options_.size_min <= options_.size_max);
-  UNICC_CHECK(options_.size_max <= num_items);
-  UNICC_CHECK(options_.read_fraction >= 0 && options_.read_fraction <= 1);
-  UNICC_CHECK(num_user_sites_ > 0);
-}
-
-TxnSpec WorkloadGenerator::MakeSpec(TxnId id) {
-  TxnSpec spec;
-  spec.id = id;
-  spec.home = static_cast<SiteId>(rng_.UniformInt(num_user_sites_));
-  spec.compute_time = options_.compute_time;
-  const std::uint32_t size = static_cast<std::uint32_t>(
-      rng_.UniformRange(options_.size_min, options_.size_max));
-  // Draw `size` distinct items (Zipfian draws retried on duplicates).
-  std::vector<ItemId> items;
-  items.reserve(size);
-  while (items.size() < size) {
-    const ItemId item = static_cast<ItemId>(zipf_.Next(rng_));
-    if (std::find(items.begin(), items.end(), item) == items.end()) {
-      items.push_back(item);
-    }
-  }
-  for (ItemId item : items) {
-    if (rng_.Bernoulli(options_.read_fraction)) {
-      spec.read_set.push_back(item);
-    } else {
-      spec.write_set.push_back(item);
-    }
-  }
-  // Every transaction must access at least one item in some mode; the
-  // split above guarantees that because `items` is non-empty.
-  return spec;
-}
+      rng_(rng) {}
 
 std::vector<WorkloadGenerator::Arrival> WorkloadGenerator::Generate() {
-  std::vector<Arrival> arrivals;
-  arrivals.reserve(options_.num_txns);
-  const double mean_gap_us =
-      1e6 / options_.arrival_rate_per_sec;  // exponential inter-arrival
-  double t = 0;
-  for (TxnId id = 1; id <= options_.num_txns; ++id) {
-    t += rng_.Exponential(mean_gap_us);
-    Arrival a;
-    a.when = static_cast<SimTime>(t);
-    a.spec = MakeSpec(id);
-    arrivals.push_back(std::move(a));
-  }
+  auto stream = MakeGeneratorStream(options_, num_items_, num_user_sites_,
+                                    rng_);
+  std::vector<Arrival> arrivals =
+      DrainStream(*stream, static_cast<std::size_t>(options_.num_txns));
+  UNICC_CHECK(arrivals.size() == options_.num_txns);
   return arrivals;
 }
 

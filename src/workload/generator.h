@@ -2,16 +2,23 @@
 // choice uniform or Zipfian, transaction size (the paper's s_t) and read
 // fraction configurable, and a pluggable protocol-choice policy (fixed /
 // mixed / dynamic selector).
+//
+// Generation is a lazy ArrivalStream (MakeGeneratorStream): arrivals are
+// produced one pull at a time, so open-system runs need O(1) workload
+// memory. WorkloadGenerator::Generate() drains the same stream into a
+// vector for the closed-batch paths.
 #ifndef UNICC_WORKLOAD_GENERATOR_H_
 #define UNICC_WORKLOAD_GENERATOR_H_
 
 #include <cstdint>
 #include <functional>
+#include <memory>
 #include <vector>
 
 #include "common/rng.h"
 #include "common/types.h"
 #include "txn/transaction.h"
+#include "workload/stream.h"
 #include "workload/zipf.h"
 
 namespace unicc {
@@ -43,28 +50,34 @@ ProtocolPolicy FixedProtocol(Protocol p);
 ProtocolPolicy MixedProtocol(double w_2pl, double w_to, double w_pa,
                              Rng rng);
 
+// Lazy stream over the WorkloadOptions workload: Poisson arrivals with
+// ids 1..num_txns, protocols left as 2PL (the engine applies the policy
+// at admission). Identical draw-for-draw to WorkloadGenerator::Generate().
+std::unique_ptr<ArrivalStream> MakeGeneratorStream(WorkloadOptions options,
+                                                   ItemId num_items,
+                                                   std::uint32_t num_user_sites,
+                                                   Rng rng);
+
 class WorkloadGenerator {
  public:
   WorkloadGenerator(WorkloadOptions options, ItemId num_items,
                     std::uint32_t num_user_sites, Rng rng);
 
-  // Generates the full arrival schedule: (arrival time, spec) pairs with
-  // ids 1..num_txns. Protocols are left as 2PL; the engine applies the
-  // policy at admission (so the selector can use live statistics).
-  struct Arrival {
-    SimTime when;
-    TxnSpec spec;
-  };
+  // Compatibility alias: the arrival record predates the stream layer.
+  using Arrival = unicc::Arrival;
+
+  // Generates the full arrival schedule by draining the lazy stream.
+  // Idempotent: the stream draws from a copy of the generator's Rng, so
+  // every call returns the same schedule (matching BuildWorkload's
+  // two-builds-are-identical contract); use a differently seeded
+  // generator for an independent workload.
   std::vector<Arrival> Generate();
 
  private:
-  TxnSpec MakeSpec(TxnId id);
-
   WorkloadOptions options_;
   ItemId num_items_;
   std::uint32_t num_user_sites_;
   Rng rng_;
-  ZipfGenerator zipf_;
 };
 
 }  // namespace unicc

@@ -1,0 +1,39 @@
+#include "workload/stream.h"
+
+#include <utility>
+
+namespace unicc {
+
+namespace {
+
+class VectorStream final : public ArrivalStream {
+ public:
+  explicit VectorStream(std::vector<Arrival> arrivals)
+      : arrivals_(std::move(arrivals)) {}
+
+  bool Next(Arrival* out) override {
+    if (pos_ == arrivals_.size()) return false;
+    *out = std::move(arrivals_[pos_++]);
+    return true;
+  }
+
+ private:
+  std::vector<Arrival> arrivals_;
+  std::size_t pos_ = 0;
+};
+
+}  // namespace
+
+std::unique_ptr<ArrivalStream> MakeVectorStream(
+    std::vector<Arrival> arrivals) {
+  return std::make_unique<VectorStream>(std::move(arrivals));
+}
+
+std::vector<Arrival> DrainStream(ArrivalStream& stream, std::size_t max) {
+  std::vector<Arrival> out;
+  Arrival a;
+  while (out.size() < max && stream.Next(&a)) out.push_back(std::move(a));
+  return out;
+}
+
+}  // namespace unicc

@@ -43,6 +43,51 @@ TEST(DurationStatTest, EmptyIsZero) {
   EXPECT_EQ(s.PercentileMs(50), 0);
 }
 
+TEST(DurationStatTest, ReservoirBoundsRetainedSamples) {
+  DurationStat s;
+  const std::size_t n = DurationStat::kMaxSamples * 4;
+  // Uniform ramp 1..n ms; count/mean/max stay exact past the cap, and the
+  // reservoir's percentile estimate stays close to the true quantile.
+  for (std::size_t i = 1; i <= n; ++i) s.Add(i * 1000);
+  EXPECT_EQ(s.count(), n);
+  EXPECT_DOUBLE_EQ(s.MaxMs(), static_cast<double>(n));
+  EXPECT_DOUBLE_EQ(s.MeanMs(), (n + 1) / 2.0);
+  EXPECT_NEAR(s.PercentileMs(50), n / 2.0, 0.05 * n);
+  EXPECT_NEAR(s.PercentileMs(95), 0.95 * n, 0.05 * n);
+}
+
+TEST(DurationStatTest, ReservoirIsDeterministic) {
+  DurationStat a, b;
+  for (std::size_t i = 0; i < DurationStat::kMaxSamples * 3; ++i) {
+    a.Add((i * 7919) % 100000);
+    b.Add((i * 7919) % 100000);
+  }
+  EXPECT_DOUBLE_EQ(a.PercentileMs(99), b.PercentileMs(99));
+  EXPECT_DOUBLE_EQ(a.PercentileMs(50), b.PercentileMs(50));
+}
+
+TEST(DurationStatTest, ExactBelowTheCap) {
+  // Below kMaxSamples the reservoir never kicks in: percentiles are the
+  // exact order statistics, as before.
+  DurationStat s;
+  for (Duration d = 1000; d <= 4000; d += 1000) s.Add(d);
+  EXPECT_DOUBLE_EQ(s.PercentileMs(0), 1.0);
+  EXPECT_DOUBLE_EQ(s.PercentileMs(100), 4.0);
+}
+
+TEST(RunMetricsTest, ResultsRetainedOnlyWhenOptedIn) {
+  RunMetrics off;
+  off.OnCommit(MakeResult(1, Protocol::kTwoPhaseLocking, 1000));
+  EXPECT_TRUE(off.results().empty());
+  EXPECT_EQ(off.total_committed(), 1u);  // aggregates unaffected
+
+  RunMetrics on;
+  on.SetKeepResults(true);
+  on.OnCommit(MakeResult(1, Protocol::kTwoPhaseLocking, 1000));
+  ASSERT_EQ(on.results().size(), 1u);
+  EXPECT_EQ(on.results()[0].id, 1u);
+}
+
 TEST(RunMetricsTest, PerProtocolAggregation) {
   RunMetrics m;
   m.OnCommit(MakeResult(1, Protocol::kTwoPhaseLocking, 10000));

@@ -325,6 +325,205 @@ TEST(ScenarioWorkloadTest, StartOffsetShiftsClassArrivals) {
   for (const auto& a : wl.arrivals) EXPECT_GE(a.when, 9000000u);
 }
 
+// ---------------------------------------------------------------------------
+// Phase timelines
+// ---------------------------------------------------------------------------
+
+constexpr char kPhasedScenario[] =
+    "[engine]\nitems = 64\nseed = 5\n"
+    "[policy]\nkind = minstl\nestimator_window_ms = 2500\n"
+    "[run]\nwindow_ms = 1000\n"
+    "[class main]\ntxns = 300\nrate = 60\nsize = 2\nread_fraction = 0.9\n"
+    "[class side]\ntxns = 60\nrate = 12\nsize = 2\n"
+    "[phase hot]\nstart_ms = 2000\nrate = 120\nread_fraction = 0.1\n"
+    "access = zipf\ntheta = 1.1\nside.protocol = pa\n"
+    "[phase cool]\nstart_ms = 4000\nrate = 30\nside.protocol = policy\n";
+
+TEST(ScenarioPhaseTest, ParsesTimelineAndPolicyWindow) {
+  auto spec = ScenarioSpec::Parse(kPhasedScenario);
+  ASSERT_TRUE(spec.ok()) << spec.status().ToString();
+  EXPECT_EQ(spec->policy.estimator_window, 2500 * kMillisecond);
+  EXPECT_EQ(spec->engine.metrics_window, 1000 * kMillisecond);
+  ASSERT_EQ(spec->phases.size(), 2u);
+  EXPECT_EQ(spec->phases[0].name, "hot");
+  EXPECT_EQ(spec->phases[0].start, 2000 * kMillisecond);
+  // 4 plain overrides plus one class-scoped one.
+  ASSERT_EQ(spec->phases[0].overrides.size(), 5u);
+  EXPECT_EQ(spec->phases[0].overrides[4].class_name, "side");
+  EXPECT_EQ(spec->phases[0].overrides[4].entry.key, "protocol");
+}
+
+TEST(ScenarioPhaseTest, RejectsBadTimelines) {
+  // Missing start_ms.
+  EXPECT_FALSE(ScenarioSpec::Parse(
+                   "[engine]\nitems = 32\n"
+                   "[class c]\ntxns = 5\nrate = 10\n"
+                   "[phase p]\nrate = 20\n")
+                   .ok());
+  // Non-increasing starts.
+  EXPECT_FALSE(ScenarioSpec::Parse(
+                   "[engine]\nitems = 32\n"
+                   "[class c]\ntxns = 5\nrate = 10\n"
+                   "[phase a]\nstart_ms = 2000\nrate = 20\n"
+                   "[phase b]\nstart_ms = 2000\nrate = 30\n")
+                   .ok());
+  // Duplicate phase names.
+  EXPECT_FALSE(ScenarioSpec::Parse(
+                   "[engine]\nitems = 32\n"
+                   "[class c]\ntxns = 5\nrate = 10\n"
+                   "[phase a]\nstart_ms = 1000\nrate = 20\n"
+                   "[phase a]\nstart_ms = 2000\nrate = 30\n")
+                   .ok());
+  // Unknown class in a scoped override.
+  auto bad_class = ScenarioSpec::Parse(
+      "[engine]\nitems = 32\n"
+      "[class c]\ntxns = 5\nrate = 10\n"
+      "[phase p]\nstart_ms = 1000\nnope.rate = 20\n");
+  ASSERT_FALSE(bad_class.ok());
+  EXPECT_NE(bad_class.status().message().find("unknown class 'nope'"),
+            std::string::npos);
+  // txns is not phase-overridable.
+  auto bad_key = ScenarioSpec::Parse(
+      "[engine]\nitems = 32\n"
+      "[class c]\ntxns = 5\nrate = 10\n"
+      "[phase p]\nstart_ms = 1000\ntxns = 50\n");
+  ASSERT_FALSE(bad_key.ok());
+  EXPECT_NE(bad_key.status().message().find("not a phase-overridable"),
+            std::string::npos);
+  // Errors in override values carry the line number.
+  auto bad_value = ScenarioSpec::Parse(
+      "[engine]\nitems = 32\n"
+      "[class c]\ntxns = 5\nrate = 10\n"
+      "[phase p]\nstart_ms = 1000\nrate = fast\n");
+  ASSERT_FALSE(bad_value.ok());
+  EXPECT_NE(bad_value.status().message().find("line 8"), std::string::npos)
+      << bad_value.status().ToString();
+}
+
+TEST(ScenarioPhaseTest, ValidatesEffectiveConfigPerPhase) {
+  // The base class is fine; the phase flips it to a hotspot pattern that
+  // cannot fill the transaction size from the hot set.
+  auto bad = ScenarioSpec::Parse(
+      "[engine]\nitems = 32\n"
+      "[class c]\ntxns = 5\nrate = 10\nsize = 4\n"
+      "[phase p]\nstart_ms = 1000\naccess = hotspot\nhot_items = 2\n"
+      "hot_fraction = 1\n");
+  ASSERT_FALSE(bad.ok());
+  EXPECT_NE(bad.status().message().find("[phase p]"), std::string::npos);
+  // A pure backend rejects a phase forcing a different protocol.
+  EXPECT_FALSE(ScenarioSpec::Parse(
+                   "[engine]\nbackend = pure\nprotocol = to\n"
+                   "detector = none\nitems = 32\n"
+                   "[policy]\nkind = fixed\nprotocol = to\n"
+                   "[class c]\ntxns = 5\nrate = 10\n"
+                   "[phase p]\nstart_ms = 1000\nprotocol = 2pl\n")
+                   .ok());
+}
+
+TEST(ScenarioPhaseTest, OverridesTakeEffectAfterTheBoundary) {
+  // Phase flips the mix to pure writes at 2s: arrivals drawn before the
+  // boundary are read-heavy, arrivals after are all-write.
+  auto spec = ScenarioSpec::Parse(
+      "[engine]\nitems = 64\n"
+      "[class c]\ntxns = 400\nrate = 100\nsize = 2\nread_fraction = 1\n"
+      "[phase writes]\nstart_ms = 2000\nread_fraction = 0\n");
+  ASSERT_TRUE(spec.ok()) << spec.status().ToString();
+  const auto wl = spec->BuildWorkload();
+  const SimTime boundary = 2000 * kMillisecond;
+  // One straddling gap is allowed: the first arrival drawn after the
+  // clock passes the boundary switches config.
+  std::size_t late_reads = 0, early_writes = 0, late = 0, early = 0;
+  for (const auto& a : wl.arrivals) {
+    if (a.when < boundary) {
+      ++early;
+      early_writes += !a.spec.write_set.empty();
+    } else {
+      ++late;
+      late_reads += !a.spec.read_set.empty();
+    }
+  }
+  ASSERT_GT(early, 50u);
+  ASSERT_GT(late, 50u);
+  EXPECT_EQ(early_writes, 0u);
+  EXPECT_LE(late_reads, 1u);  // at most the straddling arrival
+}
+
+TEST(ScenarioPhaseTest, ScopedOverrideLeavesOtherClassesAlone) {
+  auto spec = ScenarioSpec::Parse(
+      "[engine]\nitems = 64\n"
+      "[class a]\ntxns = 150\nrate = 50\nsize = 2\nread_fraction = 1\n"
+      "[class b]\ntxns = 150\nrate = 50\nsize = 2\nread_fraction = 1\n"
+      "[phase p]\nstart_ms = 1500\nb.read_fraction = 0\n");
+  ASSERT_TRUE(spec.ok()) << spec.status().ToString();
+  // Rebuild per-class membership from the deterministic generators: class
+  // a stays all-read even after the boundary, so any write after the
+  // boundary (there are some, since b flips) belongs to b.
+  const auto wl = spec->BuildWorkload();
+  std::size_t writes_after = 0;
+  for (const auto& a : wl.arrivals) {
+    if (a.when >= 1500 * kMillisecond && !a.spec.write_set.empty()) {
+      ++writes_after;
+    }
+  }
+  EXPECT_GT(writes_after, 20u);
+  // And re-parsing without the scoped override removes them all.
+  auto no_phase = ScenarioSpec::Parse(
+      "[engine]\nitems = 64\n"
+      "[class a]\ntxns = 150\nrate = 50\nsize = 2\nread_fraction = 1\n"
+      "[class b]\ntxns = 150\nrate = 50\nsize = 2\nread_fraction = 1\n");
+  ASSERT_TRUE(no_phase.ok());
+  for (const auto& a : no_phase->BuildWorkload().arrivals) {
+    EXPECT_TRUE(a.spec.write_set.empty());
+  }
+}
+
+TEST(ScenarioPhaseTest, PhaseForcedProtocolFillsForcedSet) {
+  auto spec = ScenarioSpec::Parse(
+      "[engine]\nitems = 32\n"
+      "[class c]\ntxns = 200\nrate = 100\nsize = 2\n"
+      "[phase pin]\nstart_ms = 1000\nprotocol = pa\n");
+  ASSERT_TRUE(spec.ok()) << spec.status().ToString();
+  const auto wl = spec->BuildWorkload();
+  ASSERT_FALSE(wl.forced->empty());
+  for (const auto& a : wl.arrivals) {
+    const bool is_forced = wl.forced->count(a.spec.id) != 0;
+    if (is_forced) {
+      EXPECT_EQ(a.spec.protocol, Protocol::kPrecedenceAgreement);
+    } else {
+      // Unforced arrivals were drawn before the boundary (one straddler
+      // tolerated, so compare against the first forced arrival's time).
+      EXPECT_LT(a.when, 1100 * kMillisecond);
+    }
+  }
+}
+
+TEST(ScenarioRunTest, ParsesRunControlsAndOpenSystemFlag) {
+  auto spec = ScenarioSpec::Parse(
+      "[engine]\nitems = 32\n"
+      "[run]\nhorizon_ms = 30000\ncommit_target = 500\nmax_inflight = 16\n"
+      "keep_results = true\n"
+      "[class c]\ntxns = 5\nrate = 10\n");
+  ASSERT_TRUE(spec.ok()) << spec.status().ToString();
+  EXPECT_EQ(spec->engine.run.time_horizon, 30000u * 1000);
+  EXPECT_EQ(spec->engine.run.commit_target, 500u);
+  EXPECT_EQ(spec->engine.run.max_inflight, 16u);
+  EXPECT_TRUE(spec->engine.keep_results);
+  EXPECT_TRUE(spec->IsOpenSystem());
+
+  auto closed = ScenarioSpec::Parse(
+      "[engine]\nitems = 32\n"
+      "[run]\nwindow_ms = 1000\n"
+      "[class c]\ntxns = 5\nrate = 10\n");
+  ASSERT_TRUE(closed.ok());
+  // A metrics window alone does not make the run open-system.
+  EXPECT_FALSE(closed->IsOpenSystem());
+  EXPECT_FALSE(ScenarioSpec::Parse(
+                   "[engine]\nitems = 32\n"
+                   "[run]\nbogus = 1\n"
+                   "[class c]\ntxns = 5\nrate = 10\n")
+                   .ok());
+}
+
 TEST(ForcedAwarePolicyTest, ForcedIdsBypassBasePolicy) {
   auto forced = std::make_shared<std::unordered_set<TxnId>>();
   forced->insert(7);

@@ -1,0 +1,143 @@
+// ArrivalStream contract tests: the vector adapter, the drain helper, the
+// lazy generator stream's draw-for-draw equivalence with the batch
+// generator, and the scenario stream's equivalence with BuildWorkload —
+// the property that lets the open-system engine admit the exact same
+// workload the closed-batch paths pre-materialize.
+#include "workload/stream.h"
+
+#include <gtest/gtest.h>
+
+#include <unordered_set>
+#include <vector>
+
+#include "scenario/scenario.h"
+#include "workload/generator.h"
+#include "workload/trace.h"
+
+namespace unicc {
+namespace {
+
+std::vector<Arrival> ThreeArrivals() {
+  std::vector<Arrival> v(3);
+  for (std::size_t i = 0; i < v.size(); ++i) {
+    v[i].when = (i + 1) * 100;
+    v[i].spec.id = i + 1;
+    v[i].spec.read_set = {static_cast<ItemId>(i)};
+  }
+  return v;
+}
+
+TEST(VectorStreamTest, YieldsArrivalsInOrderThenExhausts) {
+  auto stream = MakeVectorStream(ThreeArrivals());
+  Arrival a;
+  for (TxnId id = 1; id <= 3; ++id) {
+    ASSERT_TRUE(stream->Next(&a));
+    EXPECT_EQ(a.spec.id, id);
+    EXPECT_EQ(a.when, id * 100);
+  }
+  EXPECT_FALSE(stream->Next(&a));
+  // Streams are single-pass: exhaustion is final, and a failed Next()
+  // leaves the output untouched.
+  EXPECT_FALSE(stream->Next(&a));
+  EXPECT_EQ(a.spec.id, 3u);
+}
+
+TEST(VectorStreamTest, EmptyVectorIsImmediatelyExhausted) {
+  auto stream = MakeVectorStream({});
+  Arrival a;
+  EXPECT_FALSE(stream->Next(&a));
+}
+
+TEST(DrainStreamTest, DrainsEverythingAndHonorsCap) {
+  auto stream = MakeVectorStream(ThreeArrivals());
+  const std::vector<Arrival> all = DrainStream(*stream);
+  ASSERT_EQ(all.size(), 3u);
+  EXPECT_EQ(all[2].spec.id, 3u);
+
+  auto capped = MakeVectorStream(ThreeArrivals());
+  EXPECT_EQ(DrainStream(*capped, 2).size(), 2u);
+  // The cap left the third arrival in the stream.
+  Arrival a;
+  ASSERT_TRUE(capped->Next(&a));
+  EXPECT_EQ(a.spec.id, 3u);
+}
+
+TEST(GeneratorStreamTest, MatchesBatchGeneratorDrawForDraw) {
+  WorkloadOptions wo;
+  wo.arrival_rate_per_sec = 50;
+  wo.num_txns = 200;
+  wo.size_min = 2;
+  wo.size_max = 5;
+  wo.zipf_theta = 0.8;
+  const ItemId items = 40;
+  const std::uint32_t sites = 3;
+
+  WorkloadGenerator gen(wo, items, sites, Rng(123));
+  const std::vector<Arrival> batch = gen.Generate();
+  auto stream = MakeGeneratorStream(wo, items, sites, Rng(123));
+  const std::vector<Arrival> lazy = DrainStream(*stream);
+
+  // Byte-compare through the trace codec: times, homes, access sets and
+  // ids must all be identical.
+  EXPECT_EQ(WorkloadTrace::SerializeBinary(batch),
+            WorkloadTrace::SerializeBinary(lazy));
+}
+
+TEST(ScenarioStreamTest, OpenMatchesBuildWorkload) {
+  auto spec = ScenarioSpec::Parse(
+      "[engine]\nitems = 48\nseed = 11\n"
+      "[class alpha]\ntxns = 120\nrate = 60\nsize = 2..4\n"
+      "[class beta]\ntxns = 80\nrate = 30\nstart_ms = 500\naccess = zipf\n"
+      "theta = 0.9\nprotocol = pa\n");
+  ASSERT_TRUE(spec.ok()) << spec.status().ToString();
+
+  const ScenarioSpec::Workload batch = spec->BuildWorkload();
+  ScenarioSpec::OpenWorkload open = spec->Open();
+  const std::vector<Arrival> lazy = DrainStream(*open.stream);
+
+  EXPECT_EQ(WorkloadTrace::SerializeBinary(batch.arrivals),
+            WorkloadTrace::SerializeBinary(lazy));
+  // The forced set fills as the stream emits; after a full drain it must
+  // equal the batch set.
+  EXPECT_EQ(*batch.forced, *open.forced);
+  EXPECT_FALSE(open.forced->empty());
+}
+
+TEST(ScenarioStreamTest, ForcedSetGrowsWithThePull) {
+  auto spec = ScenarioSpec::Parse(
+      "[engine]\nitems = 32\n"
+      "[class f]\ntxns = 10\nrate = 50\nprotocol = to\n");
+  ASSERT_TRUE(spec.ok()) << spec.status().ToString();
+  ScenarioSpec::OpenWorkload open = spec->Open();
+  EXPECT_TRUE(open.forced->empty());
+  Arrival a;
+  ASSERT_TRUE(open.stream->Next(&a));
+  // The id just emitted is already in the set — admission reads it after
+  // the pull, so a forced protocol is never missed.
+  EXPECT_EQ(open.forced->count(a.spec.id), 1u);
+  EXPECT_EQ(open.forced->size(), 1u);
+}
+
+TEST(ScenarioStreamTest, MergeBreaksTiesByClassOrder) {
+  // Two classes with identical seeds draw identical gap sequences only if
+  // their Rngs collide, which they do not; instead pin determinism the
+  // simple way: ids must be assigned 1..N in nondecreasing time order.
+  auto spec = ScenarioSpec::Parse(
+      "[engine]\nitems = 32\n"
+      "[class a]\ntxns = 50\nrate = 40\n"
+      "[class b]\ntxns = 50\nrate = 40\n");
+  ASSERT_TRUE(spec.ok()) << spec.status().ToString();
+  ScenarioSpec::OpenWorkload open = spec->Open();
+  Arrival a;
+  SimTime prev = 0;
+  TxnId expected = 1;
+  while (open.stream->Next(&a)) {
+    EXPECT_EQ(a.spec.id, expected++);
+    EXPECT_GE(a.when, prev);
+    prev = a.when;
+  }
+  EXPECT_EQ(expected, 101u);
+}
+
+}  // namespace
+}  // namespace unicc

@@ -217,6 +217,66 @@ TEST(ParamEstimatorTest, LockHoldMeans) {
   EXPECT_NEAR(p.u_lock_aborted, 0.05, 1e-9);
 }
 
+TEST(ParamEstimatorTest, DecayWindowForgetsOldStatistics) {
+  // Phase one: T/O rejects half its reads. Much later (many windows),
+  // phase two rejects nothing. A windowed estimator re-converges to the
+  // recent behaviour; the default run-total estimator stays anchored on
+  // the blended average.
+  ParamEstimator windowed, total;
+  windowed.SetDecayWindow(1 * kSecond);
+  for (ParamEstimator* est : {&windowed, &total}) {
+    for (int i = 0; i < 100; ++i) {
+      est->OnRequestSent(Protocol::kTimestampOrdering, OpType::kRead);
+    }
+    for (int i = 0; i < 50; ++i) {
+      est->OnReject(OpType::kRead, Protocol::kTimestampOrdering);
+    }
+    est->Snapshot(1 * kSecond, 1);  // advance the decay clock to t=1s
+  }
+  EXPECT_NEAR(windowed.For(Protocol::kTimestampOrdering).p_reject_read, 0.5,
+              1e-9);
+  // Phase two at t=10s: nine windows of silence decayed phase one to
+  // e^-9; 100 clean requests now dominate the ratio.
+  for (ParamEstimator* est : {&windowed, &total}) {
+    est->Snapshot(10 * kSecond, 1);
+    for (int i = 0; i < 100; ++i) {
+      est->OnRequestSent(Protocol::kTimestampOrdering, OpType::kRead);
+    }
+    est->Snapshot(10 * kSecond + 1, 1);
+  }
+  EXPECT_LT(windowed.For(Protocol::kTimestampOrdering).p_reject_read, 0.01);
+  EXPECT_NEAR(total.For(Protocol::kTimestampOrdering).p_reject_read, 0.25,
+              1e-9);
+}
+
+TEST(ParamEstimatorTest, DecayedRatesUseTheWindowedTimeBase) {
+  // A constant 100 grants/s fed in 100ms batches: after several windows
+  // the windowed rate estimate converges to the true rate instead of
+  // being diluted by the run length.
+  ParamEstimator est;
+  est.SetDecayWindow(2 * kSecond);
+  SystemParams s{};
+  for (int tick = 1; tick <= 200; ++tick) {
+    for (int i = 0; i < 10; ++i) est.OnGrant(OpType::kRead);
+    s = est.Snapshot(static_cast<SimTime>(tick) * 100 * kMillisecond, 1);
+  }
+  EXPECT_NEAR(s.lambda_r, 100.0, 10.0);
+  // Exact commit count is never decayed.
+  EXPECT_EQ(est.total_commits(), 0u);
+}
+
+TEST(ParamEstimatorTest, ZeroWindowKeepsRunTotals) {
+  ParamEstimator est;  // default: no decay
+  for (int i = 0; i < 10; ++i) {
+    est.OnRequestSent(Protocol::kTimestampOrdering, OpType::kRead);
+  }
+  est.OnReject(OpType::kRead, Protocol::kTimestampOrdering);
+  est.Snapshot(100 * kSecond, 1);
+  est.Snapshot(200 * kSecond, 1);
+  EXPECT_NEAR(est.For(Protocol::kTimestampOrdering).p_reject_read, 0.1,
+              1e-12);
+}
+
 TEST(ParamEstimatorTest, TwoPlAbortProbability) {
   ParamEstimator est;
   for (int i = 0; i < 9; ++i) {

@@ -13,7 +13,10 @@
 //   sim_cancel_churn   schedule/cancel pairs drained by the run loop
 //   qm_grant_release   unified-QM write grant/release cycles
 //   scenario_e2e       committed transactions/sec, wall clock, on a
-//                      scaled-up declarative scenario
+//                      scaled-up declarative scenario (batch admission)
+//   stream_admission   the same scenario pulled through the open-system
+//                      arrival stream under an MPL cap (lazy admission
+//                      gate + deferral path)
 //
 // Wall-clock rates are machine-dependent, so the gate uses a tolerance
 // band (default: fail below 0.5x baseline) — wide enough for runner
@@ -177,10 +180,19 @@ std::uint64_t DigestStats(const bench::RunStats& s) {
   return h;
 }
 
-KernelResult KernelScenario(const std::string& path, std::uint64_t txns,
-                            std::uint64_t* digest, bool* ok) {
+// Shared scenario-kernel recipe: load `path`, scale the main class to
+// `txns` so the wall-clock measurement has signal (the arrival rate stays
+// as authored, preserving the scenario's contention), run, digest.
+// `stream` switches the run to open-system: a [run] MPL cap puts the
+// pull/schedule/defer machinery of streaming admission on the measured
+// path. Every arrival is eventually admitted either way (the cap only
+// delays), so committed must equal txns and both digests are
+// machine-independent.
+KernelResult KernelScenarioRun(const char* name, bool stream,
+                               const std::string& path, std::uint64_t txns,
+                               std::uint64_t* digest, bool* ok) {
   KernelResult r;
-  r.name = "scenario_e2e";
+  r.name = name;
   r.items = "txns";
   auto ini = IniFile::ReadFile(path);
   if (!ini.ok()) {
@@ -189,10 +201,9 @@ KernelResult KernelScenario(const std::string& path, std::uint64_t txns,
     *ok = false;
     return r;
   }
-  // Scale the workload up so the wall-clock measurement has signal; the
-  // arrival rate stays as authored, preserving the scenario's contention.
   IniFile scaled = *ini;
   scaled.Set("class main", "txns", std::to_string(txns));
+  if (stream) scaled.Set("run", "max_inflight", "64");
   auto spec = ScenarioSpec::FromIni(scaled);
   if (!spec.ok()) {
     std::fprintf(stderr, "perf_gate: %s: %s\n", path.c_str(),
@@ -207,9 +218,9 @@ KernelResult KernelScenario(const std::string& path, std::uint64_t txns,
   *digest = DigestStats(stats);
   if (stats.committed != txns || !stats.serializable) {
     std::fprintf(stderr,
-                 "perf_gate: scenario run is broken (committed=%llu/%llu, "
+                 "perf_gate: %s run is broken (committed=%llu/%llu, "
                  "serializable=%s)\n",
-                 static_cast<unsigned long long>(stats.committed),
+                 name, static_cast<unsigned long long>(stats.committed),
                  static_cast<unsigned long long>(txns),
                  stats.serializable ? "yes" : "no");
     *ok = false;
@@ -223,7 +234,8 @@ KernelResult KernelScenario(const std::string& path, std::uint64_t txns,
 
 void WriteReport(const std::string& path,
                  const std::vector<KernelResult>& kernels,
-                 std::uint64_t digest, const std::string& scenario) {
+                 std::uint64_t digest, std::uint64_t stream_digest,
+                 const std::string& scenario) {
   std::FILE* f = std::fopen(path.c_str(), "w");
   if (f == nullptr) {
     std::fprintf(stderr, "perf_gate: cannot open %s\n", path.c_str());
@@ -234,8 +246,10 @@ void WriteReport(const std::string& path,
                "  \"generated_by\": \"perf_gate\",\n"
                "  \"scenario\": \"%s\",\n"
                "  \"scenario_digest\": \"%016llx\",\n"
+               "  \"stream_digest\": \"%016llx\",\n"
                "  \"kernels\": [\n",
-               scenario.c_str(), static_cast<unsigned long long>(digest));
+               scenario.c_str(), static_cast<unsigned long long>(digest),
+               static_cast<unsigned long long>(stream_digest));
   for (std::size_t i = 0; i < kernels.size(); ++i) {
     std::fprintf(f,
                  "    {\"name\": \"%s\", \"items\": \"%s\", "
@@ -256,6 +270,8 @@ struct Baseline {
   std::vector<KernelResult> kernels;
   std::uint64_t digest = 0;
   bool has_digest = false;
+  std::uint64_t stream_digest = 0;
+  bool has_stream_digest = false;
 };
 
 bool LoadBaseline(const std::string& path, Baseline* out) {
@@ -271,6 +287,12 @@ bool LoadBaseline(const std::string& path, Baseline* out) {
   if (std::size_t p = text.find(dkey); p != std::string::npos) {
     out->digest = std::strtoull(text.c_str() + p + dkey.size(), nullptr, 16);
     out->has_digest = true;
+  }
+  const std::string skey = "\"stream_digest\": \"";
+  if (std::size_t p = text.find(skey); p != std::string::npos) {
+    out->stream_digest =
+        std::strtoull(text.c_str() + p + skey.size(), nullptr, 16);
+    out->has_stream_digest = true;
   }
   const std::string nkey = "\"name\": \"";
   const std::string vkey = "\"items_per_sec\": ";
@@ -347,11 +369,16 @@ int main(int argc, char** argv) {
   bool ok = true;
   bool arena_stable = true;
   std::uint64_t digest = 0;
+  std::uint64_t stream_digest = 0;
   std::vector<KernelResult> kernels;
   kernels.push_back(KernelScheduleRun(min_time, &arena_stable));
   kernels.push_back(KernelCancelChurn(min_time));
   kernels.push_back(KernelQmGrantRelease(min_time));
-  kernels.push_back(KernelScenario(scenario_path, txns, &digest, &ok));
+  kernels.push_back(KernelScenarioRun("scenario_e2e", /*stream=*/false,
+                                      scenario_path, txns, &digest, &ok));
+  kernels.push_back(KernelScenarioRun("stream_admission", /*stream=*/true,
+                                      scenario_path, txns, &stream_digest,
+                                      &ok));
 
   std::printf("%-18s %14s  %s\n", "kernel", "items/sec", "unit");
   for (const KernelResult& k : kernels) {
@@ -360,6 +387,8 @@ int main(int argc, char** argv) {
   }
   std::printf("scenario_digest    %016llx\n",
               static_cast<unsigned long long>(digest));
+  std::printf("stream_digest      %016llx\n",
+              static_cast<unsigned long long>(stream_digest));
   if (!arena_stable) {
     std::fprintf(stderr,
                  "perf_gate: FAIL event arena grew under constant load "
@@ -397,12 +426,21 @@ int main(int argc, char** argv) {
                    static_cast<unsigned long long>(digest));
       ok = false;
     }
+    if (base.has_stream_digest && base.stream_digest != stream_digest) {
+      std::fprintf(stderr,
+                   "perf_gate: FAIL stream digest changed "
+                   "(%016llx -> %016llx): streaming-admission results "
+                   "differ from the baseline build\n",
+                   static_cast<unsigned long long>(base.stream_digest),
+                   static_cast<unsigned long long>(stream_digest));
+      ok = false;
+    }
   }
 
   // Written even when the gate fails: CI uploads the measured numbers as
   // an artifact precisely so a failing run can be diagnosed.
   if (!out_path.empty()) {
-    WriteReport(out_path, kernels, digest, scenario_path);
+    WriteReport(out_path, kernels, digest, stream_digest, scenario_path);
   }
   return ok ? 0 : 1;
 }

@@ -7,6 +7,8 @@
 //   unicc_sim --scenario=scenarios/bursty.ini --verbose
 //   unicc_sim --scenario=scenarios/quickstart.ini --record-trace=run.trace
 //   unicc_sim --replay-trace=run.trace --policy=trace
+//   unicc_sim --scenario=scenarios/phase_shift.ini --timeline-csv=tl.csv
+//   unicc_sim --scenario=scenarios/quickstart.ini --set=run.max_inflight=8
 //
 // Run with --help for the full flag list.
 #include <cstdio>
@@ -15,8 +17,10 @@
 #include <memory>
 #include <string>
 #include <utility>
+#include <vector>
 
 #include "engine/engine.h"
+#include "scenario/ini.h"
 #include "scenario/scenario.h"
 #include "selector/selector.h"
 #include "stl/estimators.h"
@@ -54,6 +58,10 @@ struct Flags {
   std::string record_trace;  // --record-trace=FILE
   std::string replay_trace;  // --replay-trace=FILE
   std::string export_csv;    // --export-csv=FILE
+  std::vector<std::string> sets;  // --set=SECTION.KEY=VALUE
+  std::string timeline_csv;   // --timeline-csv=FILE
+  std::string timeline_json;  // --timeline-json=FILE
+  double window_ms = -1;      // --window-ms; <0 keeps the scenario's
 };
 
 void PrintHelp() {
@@ -63,6 +71,10 @@ void PrintHelp() {
       "                      declarative scenario file (see\n"
       "                      docs/scenarios.md); overrides every workload/\n"
       "                      engine flag below except --seed\n"
+      "  --set=SECTION.KEY=VALUE  override one scenario key before\n"
+      "                      validation (repeatable; section names with\n"
+      "                      spaces need shell quoting, e.g.\n"
+      "                      --set='class main.rate=80'); needs --scenario\n"
       "  --policy=fixed|mix|minstl|minavg|trace  protocol policy (fixed);\n"
       "                      'trace' uses each transaction's recorded\n"
       "                      protocol verbatim\n"
@@ -91,6 +103,11 @@ void PrintHelp() {
       "                      (text or binary, auto-detected) instead of\n"
       "                      generating it\n"
       "  --export-csv=<file>    write the workload as CSV for analysis\n"
+      "  --timeline-csv=<file>  write windowed time-series metrics as CSV\n"
+      "  --timeline-json=<file> write windowed time-series metrics as JSON\n"
+      "  --window-ms=<f>     timeline window length; overrides the\n"
+      "                      scenario's [run] window_ms (default 1000 when\n"
+      "                      a timeline export is requested without one)\n"
       "  --verbose           print per-protocol metrics and STL estimates");
 }
 
@@ -113,6 +130,18 @@ Protocol ParseProtocol(const std::string& s) {
 bool EndsWith(const std::string& s, const std::string& suffix) {
   return s.size() >= suffix.size() &&
          s.compare(s.size() - suffix.size(), suffix.size(), suffix) == 0;
+}
+
+bool WriteTextFile(const std::string& path, const std::string& text,
+                   const char* what) {
+  std::FILE* f = std::fopen(path.c_str(), "w");
+  if (f == nullptr) {
+    std::fprintf(stderr, "%s: cannot open %s\n", what, path.c_str());
+    return false;
+  }
+  std::fwrite(text.data(), 1, text.size(), f);
+  std::fclose(f);
+  return true;
 }
 
 }  // namespace
@@ -138,7 +167,13 @@ int main(int argc, char** argv) {
                ParseFlag(a, "--scenario", &flags.scenario) ||
                ParseFlag(a, "--record-trace", &flags.record_trace) ||
                ParseFlag(a, "--replay-trace", &flags.replay_trace) ||
-               ParseFlag(a, "--export-csv", &flags.export_csv)) {
+               ParseFlag(a, "--export-csv", &flags.export_csv) ||
+               ParseFlag(a, "--timeline-csv", &flags.timeline_csv) ||
+               ParseFlag(a, "--timeline-json", &flags.timeline_json)) {
+    } else if (ParseFlag(a, "--set", &v)) {
+      flags.sets.push_back(v);
+    } else if (ParseFlag(a, "--window-ms", &v)) {
+      flags.window_ms = std::atof(v.c_str());
     } else if (ParseFlag(a, "--lambda", &v)) {
       flags.lambda = std::atof(v.c_str());
     } else if (ParseFlag(a, "--txns", &v)) {
@@ -182,8 +217,36 @@ int main(int argc, char** argv) {
   ScenarioPolicy policy;
   ScenarioSpec scenario;
   const bool from_scenario = !flags.scenario.empty();
+  if (!flags.sets.empty() && !from_scenario) {
+    std::fprintf(stderr, "--set needs --scenario\n");
+    return 2;
+  }
   if (from_scenario) {
-    auto loaded = ScenarioSpec::LoadFile(flags.scenario);
+    auto loaded_ini = IniFile::ReadFile(flags.scenario);
+    if (!loaded_ini.ok()) {
+      std::fprintf(stderr, "%s: %s\n", flags.scenario.c_str(),
+                   loaded_ini.status().ToString().c_str());
+      return 2;
+    }
+    IniFile ini = *loaded_ini;
+    // Apply --set overrides before validation, so a bad override fails
+    // exactly like a bad file. SECTION may contain spaces and dots; the
+    // key is everything after the last dot before '='.
+    for (const std::string& s : flags.sets) {
+      const std::size_t eq = s.find('=');
+      const std::size_t dot =
+          eq == std::string::npos ? std::string::npos : s.rfind('.', eq);
+      if (eq == std::string::npos || dot == std::string::npos || dot == 0 ||
+          dot + 1 == eq) {
+        std::fprintf(stderr,
+                     "bad --set '%s' (expected SECTION.KEY=VALUE)\n",
+                     s.c_str());
+        return 2;
+      }
+      ini.Set(s.substr(0, dot), s.substr(dot + 1, eq - dot - 1),
+              s.substr(eq + 1));
+    }
+    auto loaded = ScenarioSpec::FromIni(ini);
     if (!loaded.ok()) {
       std::fprintf(stderr, "%s: %s\n", flags.scenario.c_str(),
                    loaded.status().ToString().c_str());
@@ -228,17 +291,40 @@ int main(int argc, char** argv) {
       return 2;
     }
   }
+  // Timeline export: --window-ms overrides the scenario's [run] window;
+  // requesting an export without any window defaults to 1s windows.
+  if (flags.window_ms >= 0) {
+    eo.metrics_window = static_cast<Duration>(flags.window_ms * 1000);
+  }
+  const bool want_timeline =
+      !flags.timeline_csv.empty() || !flags.timeline_json.empty();
+  if (want_timeline && eo.metrics_window == 0) {
+    eo.metrics_window = 1000 * kMillisecond;
+  }
   if (auto s = eo.Validate(); !s.ok()) {
     std::fprintf(stderr, "invalid configuration: %s\n",
                  s.ToString().c_str());
     return 2;
   }
 
-  // The workload: replayed from a trace, built by the scenario, or drawn
-  // from the flag-configured generator.
+  // The workload: replayed from a trace, streamed lazily (a scenario with
+  // [run] controls), built by the scenario, or drawn from the
+  // flag-configured generator.
   std::vector<WorkloadGenerator::Arrival> arrivals;
   std::shared_ptr<std::unordered_set<TxnId>> forced;
-  if (!flags.replay_trace.empty()) {
+  std::unique_ptr<ArrivalStream> stream;
+  const bool open_run =
+      from_scenario && scenario.IsOpenSystem() && flags.replay_trace.empty();
+  if (open_run) {
+    ScenarioSpec::OpenWorkload ow = scenario.Open();
+    stream = std::move(ow.stream);
+    forced = std::move(ow.forced);
+    // Recording / CSV export describe the workload definition, which the
+    // run controls may only partially admit; materialize them separately.
+    if (!flags.record_trace.empty() || !flags.export_csv.empty()) {
+      arrivals = scenario.BuildWorkload().arrivals;
+    }
+  } else if (!flags.replay_trace.empty()) {
     auto loaded = WorkloadTrace::ReadFile(flags.replay_trace);
     if (!loaded.ok()) {
       std::fprintf(stderr, "%s: %s\n", flags.replay_trace.c_str(),
@@ -298,6 +384,7 @@ int main(int argc, char** argv) {
   }
 
   ParamEstimator estimator;
+  estimator.SetDecayWindow(policy.estimator_window);
   auto minavg = std::make_unique<MinAvgTimeSelector>();
   EngineCallbacks cb;
   cb.on_commit = [&estimator, naive = minavg.get()](const TxnResult& r) {
@@ -349,7 +436,9 @@ int main(int argc, char** argv) {
     engine.SetProtocolPolicy(std::move(base));
   }
 
-  if (auto s = engine.AddWorkload(arrivals); !s.ok()) {
+  if (open_run) {
+    engine.SetArrivalStream(std::move(stream));
+  } else if (auto s = engine.AddWorkload(arrivals); !s.ok()) {
     std::fprintf(stderr, "workload rejected: %s\n", s.ToString().c_str());
     return 2;
   }
@@ -386,6 +475,29 @@ int main(int argc, char** argv) {
               report.serializable ? "yes" : "NO");
   std::printf("replicas consistent: %s\n",
               engine.ReplicasConsistent() ? "yes" : "NO");
+
+  if (const TimelineRecorder* tl = engine.timeline(); tl != nullptr) {
+    if (!flags.timeline_csv.empty()) {
+      if (!WriteTextFile(flags.timeline_csv, tl->ExportCsv(),
+                         "timeline-csv")) {
+        return 2;
+      }
+      std::printf("timeline           : %zu windows of %.0f ms -> %s\n",
+                  tl->NumWindows(),
+                  static_cast<double>(tl->window()) / kMillisecond,
+                  flags.timeline_csv.c_str());
+    }
+    if (!flags.timeline_json.empty()) {
+      if (!WriteTextFile(flags.timeline_json, tl->ExportJson(),
+                         "timeline-json")) {
+        return 2;
+      }
+      std::printf("timeline           : %zu windows of %.0f ms -> %s\n",
+                  tl->NumWindows(),
+                  static_cast<double>(tl->window()) / kMillisecond,
+                  flags.timeline_json.c_str());
+    }
+  }
 
   if (flags.verbose) {
     std::printf("\nper-protocol:\n");
