@@ -1,16 +1,19 @@
-// Shared harness for the experiment benchmarks: runs one engine+workload
-// configuration to completion and extracts the row data the experiment
-// tables report.
+// Shared harness for the experiment benchmarks. The engine assembly and
+// stats extraction now live in the compiled runner library
+// (src/runner/runner.h); this header keeps the historical bench:: API as
+// a thin veneer over runner::RunSession so the experiment drivers, the
+// golden suite and sweep_runner compile unchanged.
 #ifndef UNICC_BENCH_BENCH_UTIL_H_
 #define UNICC_BENCH_BENCH_UTIL_H_
 
-#include <cstdio>
 #include <memory>
-#include <string>
+#include <unordered_set>
+#include <utility>
+#include <vector>
 
 #include "engine/engine.h"
+#include "runner/runner.h"
 #include "scenario/scenario.h"
-#include "selector/selector.h"
 #include "stl/estimators.h"
 #include "workload/generator.h"
 
@@ -38,61 +41,32 @@ struct BenchConfig {
   std::uint64_t seed = 1234;
 };
 
-// Row data extracted from a completed run.
-struct RunStats {
-  double mean_s_ms = 0;     // mean transaction system time S
-  double p95_s_ms = 0;
-  std::uint64_t admitted = 0;
-  std::uint64_t committed = 0;
-  SimTime makespan = 0;
-  std::uint64_t total_messages = 0;
-  std::uint64_t log_records = 0;
-  bool replicas_consistent = false;
-  std::uint64_t deadlock_victims = 0;
-  std::uint64_t reject_restarts = 0;
-  std::uint64_t backoff_rounds = 0;
-  double msgs_per_txn = 0;     // remote messages per committed transaction
-  double cc_msgs_per_txn = 0;  // concurrency-control messages only
-                               // (excludes deadlock-detector traffic)
-  double throughput = 0;    // committed per simulated second
-  bool serializable = false;
-  // Per-protocol mean S (only meaningful for mixed runs).
-  double mean_s_ms_by_proto[kNumProtocols] = {0, 0, 0};
-  std::uint64_t committed_by_proto[kNumProtocols] = {0, 0, 0};
-};
+// Row data extracted from a completed run (now defined by the runner
+// library; re-exported under the historical name).
+using RunStats = runner::RunStats;
 
 enum class PolicyKind { kFixed, kMixedEven, kMinStl, kMinAvgTime };
 
 // Subscribes `est` to every estimator-relevant engine hook.
 inline EngineCallbacks EstimatorCallbacks(ParamEstimator* est) {
-  EngineCallbacks callbacks;
-  callbacks.on_commit = [est](const TxnResult& r) { est->OnCommit(r); };
-  callbacks.on_request_sent = [est](Protocol p, OpType op) {
-    est->OnRequestSent(p, op);
-  };
-  callbacks.on_lock_hold = [est](Protocol p, Duration d, bool a) {
-    est->OnLockHold(p, d, a);
-  };
-  callbacks.on_restart = [est](Protocol p, TxnOutcome w) {
-    est->OnRestart(p, w);
-  };
-  callbacks.on_grant = [est](const CopyId&, OpType op, Protocol) {
-    est->OnGrant(op);
-  };
-  callbacks.on_reject = [est](OpType op, Protocol p) {
-    est->OnReject(op, p);
-  };
-  callbacks.on_backoff_offer = [est](OpType op) {
-    est->OnBackoffOffer(op);
-  };
-  return callbacks;
+  return runner::EstimatorCallbacks(est);
 }
 
-inline RunStats ExtractStats(Engine& engine, const RunSummary& summary);
+inline RunStats ExtractStats(Engine& engine, const RunSummary& summary) {
+  return runner::ExtractStats(engine, summary);
+}
+
+// Runs one session and unwraps; bench callers predate Status plumbing.
+inline RunStats RunRequestOrDie(runner::RunRequest request) {
+  auto session = runner::RunSession::Create(std::move(request));
+  UNICC_CHECK_MSG(session.ok(), session.status().message().c_str());
+  return (*session)->Run().stats;
+}
 
 inline RunStats RunOne(const BenchConfig& cfg, PolicyKind policy,
                        Protocol fixed = Protocol::kTwoPhaseLocking) {
-  EngineOptions eo;
+  ScenarioSpec spec;
+  EngineOptions& eo = spec.engine;
   eo.num_user_sites = cfg.user_sites;
   eo.num_data_sites = cfg.data_sites;
   eo.num_items = cfg.num_items;
@@ -109,39 +83,22 @@ inline RunStats RunOne(const BenchConfig& cfg, PolicyKind policy,
     eo.detector = DetectorKind::kNone;
   }
 
-  auto estimator = std::make_unique<ParamEstimator>();
-  ParamEstimator* est = estimator.get();
-  EngineCallbacks callbacks = EstimatorCallbacks(est);
-
-  auto naive = std::make_unique<MinAvgTimeSelector>();
-  if (policy == PolicyKind::kMinAvgTime) {
-    MinAvgTimeSelector* n = naive.get();
-    auto inner = callbacks.on_commit;
-    callbacks.on_commit = [n, inner](const TxnResult& r) {
-      n->OnCommit(r);
-      if (inner) inner(r);
-    };
-  }
-
-  Engine engine(eo, callbacks);
-
-  std::unique_ptr<MinStlSelector> selector;
   switch (policy) {
     case PolicyKind::kFixed:
-      engine.SetProtocolPolicy(FixedProtocol(fixed));
+      spec.policy.kind = ScenarioPolicy::Kind::kFixed;
+      spec.policy.fixed = fixed;
       break;
     case PolicyKind::kMixedEven:
-      engine.SetProtocolPolicy(MixedProtocol(1, 1, 1, Rng(cfg.seed ^ 77)));
+      spec.policy.kind = ScenarioPolicy::Kind::kMix;
+      spec.policy.weights[0] = 1;
+      spec.policy.weights[1] = 1;
+      spec.policy.weights[2] = 1;
       break;
-    case PolicyKind::kMinStl: {
-      selector = std::make_unique<MinStlSelector>(
-          &engine.simulator(), est,
-          static_cast<std::size_t>(cfg.num_items) * cfg.replication);
-      engine.SetProtocolPolicy(selector->AsPolicy());
+    case PolicyKind::kMinStl:
+      spec.policy.kind = ScenarioPolicy::Kind::kMinStl;
       break;
-    }
     case PolicyKind::kMinAvgTime:
-      engine.SetProtocolPolicy(naive->AsPolicy());
+      spec.policy.kind = ScenarioPolicy::Kind::kMinAvgTime;
       break;
   }
 
@@ -155,142 +112,38 @@ inline RunStats RunOne(const BenchConfig& cfg, PolicyKind policy,
   wo.compute_time = cfg.compute_time;
   WorkloadGenerator gen(wo, cfg.num_items, cfg.user_sites,
                         Rng(cfg.seed ^ 0x5bd1e995));
-  UNICC_CHECK(engine.AddWorkload(gen.Generate()).ok());
-  return ExtractStats(engine, engine.Run());
+  const std::vector<WorkloadGenerator::Arrival> arrivals = gen.Generate();
+
+  runner::RunRequest request;
+  request.spec = &spec;
+  request.arrivals = &arrivals;
+  return RunRequestOrDie(std::move(request));
 }
 
 // Runs one declarative scenario to completion (sweep_runner's --scenario
-// mode and scenario-driven benches; unicc_sim wires the engine itself so
-// it can print verbose estimator state). The arrivals-override flavour
-// powers the golden determinism suite's record -> replay runs; the
-// stream flavour is the open-system path (streaming admission under the
-// scenario's [run] controls). RunScenario picks the path the scenario
-// asks for.
-inline RunStats RunScenarioWith(
-    const ScenarioSpec& spec,
-    const std::vector<WorkloadGenerator::Arrival>& arrivals,
-    std::shared_ptr<const std::unordered_set<TxnId>> forced);
-
-inline RunStats RunScenarioOpen(const ScenarioSpec& spec);
-
-inline RunStats RunScenario(const ScenarioSpec& spec) {
-  if (spec.IsOpenSystem()) return RunScenarioOpen(spec);
-  const ScenarioSpec::Workload wl = spec.BuildWorkload();
-  return RunScenarioWith(spec, wl.arrivals, wl.forced);
-}
-
-// Shared engine assembly for the two scenario paths: estimator, policy
-// stack and engine, wired per the spec. `admit` installs the workload
-// (batch or stream) once the policy is in place.
-template <typename AdmitFn>
-inline RunStats RunScenarioImpl(
-    const ScenarioSpec& spec,
-    std::shared_ptr<const std::unordered_set<TxnId>> forced,
-    AdmitFn&& admit) {
-  auto estimator = std::make_unique<ParamEstimator>();
-  ParamEstimator* est = estimator.get();
-  est->SetDecayWindow(spec.policy.estimator_window);
-  EngineCallbacks callbacks = EstimatorCallbacks(est);
-
-  auto naive = std::make_unique<MinAvgTimeSelector>();
-  if (spec.policy.kind == ScenarioPolicy::Kind::kMinAvgTime) {
-    MinAvgTimeSelector* n = naive.get();
-    auto inner = callbacks.on_commit;
-    callbacks.on_commit = [n, inner](const TxnResult& r) {
-      n->OnCommit(r);
-      if (inner) inner(r);
-    };
-  }
-
-  Engine engine(spec.engine, callbacks);
-
-  std::unique_ptr<MinStlSelector> selector;
-  ProtocolPolicy base;
-  switch (spec.policy.kind) {
-    case ScenarioPolicy::Kind::kFixed:
-      base = FixedProtocol(spec.policy.fixed);
-      break;
-    case ScenarioPolicy::Kind::kMix:
-      base = MixedProtocol(spec.policy.weights[0], spec.policy.weights[1],
-                           spec.policy.weights[2],
-                           Rng(spec.engine.seed ^ 77));
-      break;
-    case ScenarioPolicy::Kind::kMinStl:
-      selector = std::make_unique<MinStlSelector>(
-          &engine.simulator(), est,
-          static_cast<std::size_t>(spec.engine.num_items) *
-              spec.engine.replication);
-      base = selector->AsPolicy();
-      break;
-    case ScenarioPolicy::Kind::kMinAvgTime:
-      base = naive->AsPolicy();
-      break;
-    case ScenarioPolicy::Kind::kTrace:
-      base = nullptr;  // spec protocols used verbatim
-      break;
-  }
-
-  engine.SetProtocolPolicy(ForcedAwarePolicy(std::move(base),
-                                             std::move(forced)));
-  admit(engine);
-  return ExtractStats(engine, engine.Run());
-}
-
+// mode and scenario-driven benches). The arrivals-override flavour powers
+// the golden determinism suite's record -> replay runs; RunScenario runs
+// the path the scenario asks for (batch or streaming admission), sharded
+// when the scenario sets [run] shards > 1.
 inline RunStats RunScenarioWith(
     const ScenarioSpec& spec,
     const std::vector<WorkloadGenerator::Arrival>& arrivals,
     std::shared_ptr<const std::unordered_set<TxnId>> forced) {
-  return RunScenarioImpl(spec, std::move(forced), [&arrivals](Engine& e) {
-    UNICC_CHECK(e.AddWorkload(arrivals).ok());
-  });
+  runner::RunRequest request;
+  request.spec = &spec;
+  request.arrivals = &arrivals;
+  request.forced = std::move(forced);
+  return RunRequestOrDie(std::move(request));
+}
+
+inline RunStats RunScenario(const ScenarioSpec& spec) {
+  runner::RunRequest request;
+  request.spec = &spec;
+  return RunRequestOrDie(std::move(request));
 }
 
 inline RunStats RunScenarioOpen(const ScenarioSpec& spec) {
-  ScenarioSpec::OpenWorkload ow = spec.Open();
-  return RunScenarioImpl(spec, ow.forced, [&ow](Engine& e) {
-    e.SetArrivalStream(std::move(ow.stream));
-  });
-}
-
-inline RunStats ExtractStats(Engine& engine, const RunSummary& summary) {
-  RunStats out;
-  out.mean_s_ms = engine.metrics().MeanSystemTimeMs();
-  out.p95_s_ms = engine.metrics().SystemTime().PercentileMs(95);
-  out.admitted = summary.admitted;
-  out.makespan = summary.makespan;
-  out.total_messages = summary.total_messages;
-  out.log_records = engine.log().TotalRecords();
-  out.replicas_consistent = engine.ReplicasConsistent();
-  out.committed = summary.committed;
-  out.deadlock_victims = summary.deadlock_victims;
-  out.reject_restarts = summary.reject_restarts;
-  out.backoff_rounds = summary.backoff_rounds;
-  out.msgs_per_txn =
-      summary.committed == 0
-          ? 0
-          : static_cast<double>(summary.remote_messages) /
-                static_cast<double>(summary.committed);
-  std::uint64_t cc_msgs = 0;
-  for (MessageKind k :
-       {MessageKind::kCcRequest, MessageKind::kGrant, MessageKind::kBackoff,
-        MessageKind::kPaAccept, MessageKind::kFinalTs, MessageKind::kReject,
-        MessageKind::kRelease, MessageKind::kSemiTransform,
-        MessageKind::kAbortTxn}) {
-    cc_msgs += engine.transport().MessagesOfKind(k);
-  }
-  out.cc_msgs_per_txn =
-      summary.committed == 0
-          ? 0
-          : static_cast<double>(cc_msgs) /
-                static_cast<double>(summary.committed);
-  out.throughput = engine.metrics().ThroughputPerSec(summary.makespan);
-  out.serializable = engine.CheckSerializability().serializable;
-  for (int p = 0; p < kNumProtocols; ++p) {
-    const auto& ps = engine.metrics().ForProtocol(static_cast<Protocol>(p));
-    out.mean_s_ms_by_proto[p] = ps.system_time.MeanMs();
-    out.committed_by_proto[p] = ps.committed;
-  }
-  return out;
+  return RunScenario(spec);
 }
 
 }  // namespace unicc::bench

@@ -1,0 +1,56 @@
+// EngineBuilder: staged construction for Engine. The raw Engine workflow —
+// construct (which aborts on invalid options), then mutate through
+// SetProtocolPolicy / SetCompute / SetArrivalStream — grew organically and
+// leaves a window where the engine is live but half-configured. The
+// builder collects the full configuration first, validates once, and
+// returns Status instead of aborting, so callers (the runner library,
+// tools) can surface configuration errors to users.
+#ifndef UNICC_ENGINE_BUILDER_H_
+#define UNICC_ENGINE_BUILDER_H_
+
+#include <memory>
+#include <utility>
+#include <vector>
+
+#include "common/status.h"
+#include "engine/engine.h"
+
+namespace unicc {
+
+class EngineBuilder {
+ public:
+  explicit EngineBuilder(EngineOptions options)
+      : options_(std::move(options)) {}
+
+  EngineBuilder& WithCallbacks(EngineCallbacks callbacks) {
+    callbacks_ = std::move(callbacks);
+    return *this;
+  }
+  EngineBuilder& WithProtocolPolicy(ProtocolPolicy policy) {
+    policy_ = std::move(policy);
+    return *this;
+  }
+  EngineBuilder& WithArrivalStream(std::unique_ptr<ArrivalStream> stream) {
+    stream_ = std::move(stream);
+    return *this;
+  }
+  EngineBuilder& WithCompute(TxnId txn, ComputeFn fn) {
+    compute_.emplace_back(txn, std::move(fn));
+    return *this;
+  }
+
+  // Validates the options and returns the fully wired engine, or the
+  // validation error. Consumes the staged stream; call once.
+  StatusOr<std::unique_ptr<Engine>> Build();
+
+ private:
+  EngineOptions options_;
+  EngineCallbacks callbacks_;
+  ProtocolPolicy policy_;
+  std::unique_ptr<ArrivalStream> stream_;
+  std::vector<std::pair<TxnId, ComputeFn>> compute_;
+};
+
+}  // namespace unicc
+
+#endif  // UNICC_ENGINE_BUILDER_H_

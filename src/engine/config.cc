@@ -15,6 +15,19 @@ Status EngineOptions::Validate() const {
   if (replication == 0 || replication > num_data_sites) {
     return Status::InvalidArgument("replication must be in [1, data sites]");
   }
+  if (shards == 0) {
+    return Status::InvalidArgument("shards must be at least 1");
+  }
+  if (shards > num_user_sites || shards > num_data_sites) {
+    return Status::InvalidArgument(
+        "shards must not exceed min(user sites, data sites): every shard "
+        "needs at least one site of each kind");
+  }
+  if (shards > 1 && network.base_delay == 0) {
+    return Status::InvalidArgument(
+        "sharded runs need base_delay > 0: the minimum inter-site delay is "
+        "the conservative lookahead bound");
+  }
   if (backend == BackendKind::kPure &&
       pure_protocol == Protocol::kTimestampOrdering &&
       detector == DetectorKind::kProbe) {

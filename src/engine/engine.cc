@@ -9,12 +9,21 @@
 #include "cc/twopl/lock_manager.h"
 #include "cc/unified/queue_manager.h"
 #include "common/check.h"
+#include "net/sharded_transport.h"
 
 namespace unicc {
 
-Engine::Engine(EngineOptions options, EngineCallbacks callbacks)
+namespace {
+// Seeds the cross-shard jitter rng independently of root_rng_'s fork
+// sequence, so sharding never perturbs the classic engine's draw order.
+constexpr std::uint64_t kCrossRngSalt = 0xc2b2ae3d27d4eb4full;
+}  // namespace
+
+Engine::Engine(EngineOptions options, EngineCallbacks callbacks,
+               ShardContext shard)
     : options_(std::move(options)),
       callbacks_(std::move(callbacks)),
+      shard_ctx_(shard),
       root_rng_(options_.seed) {
   UNICC_CHECK_MSG(options_.Validate().ok(), "invalid engine options");
   metrics_.SetKeepResults(options_.keep_results);
@@ -29,12 +38,35 @@ Engine::~Engine() = default;
 DataSiteBackend* Engine::BackendAt(SiteId site) {
   const SiteId idx = site - options_.num_user_sites;
   UNICC_CHECK(idx < backends_.size());
+  UNICC_CHECK_MSG(backends_[idx] != nullptr, "data site owned by another shard");
   return backends_[idx].get();
 }
 
 RequestIssuer* Engine::IssuerAt(SiteId site) {
   UNICC_CHECK(site < issuers_.size());
+  UNICC_CHECK_MSG(issuers_[site] != nullptr, "user site owned by another shard");
   return issuers_[site].get();
+}
+
+TxnDirectory Engine::MakeDirectory() {
+  TxnDirectory directory;
+  directory.protocol_of = [this](TxnId t) {
+    auto it = txn_meta_.find(t);
+    if (it != txn_meta_.end()) return it->second.protocol;
+    if (shard_ctx_.directory != nullptr) {
+      if (const auto* m = shard_ctx_.directory->Find(t)) return m->protocol;
+    }
+    return Protocol::kTwoPhaseLocking;
+  };
+  directory.home_of = [this](TxnId t) {
+    auto it = txn_meta_.find(t);
+    if (it != txn_meta_.end()) return it->second.home;
+    if (shard_ctx_.directory != nullptr) {
+      if (const auto* m = shard_ctx_.directory->Find(t)) return m->home;
+    }
+    return SiteId{0};
+  };
+  return directory;
 }
 
 void Engine::BuildSites() {
@@ -42,8 +74,17 @@ void Engine::BuildSites() {
   const std::uint32_t num_data = options_.num_data_sites;
   detector_site_ = num_user + num_data;
 
-  transport_ = std::make_unique<SimTransport>(&sim_, options_.network,
-                                              root_rng_.Fork());
+  if (IsShard()) {
+    auto sharded = std::make_unique<ShardedTransport>(
+        &sim_, options_.network, root_rng_.Fork(), shard_ctx_.shard,
+        shard_ctx_.plan->site_shard, shard_ctx_.bus,
+        Rng(options_.seed ^ kCrossRngSalt));
+    sharded_transport_ = sharded.get();
+    transport_ = std::move(sharded);
+  } else {
+    transport_ = std::make_unique<SimTransport>(&sim_, options_.network,
+                                                root_rng_.Fork());
+  }
 
   std::vector<SiteId> data_sites;
   for (std::uint32_t i = 0; i < num_data; ++i) {
@@ -70,8 +111,14 @@ void Engine::BuildSites() {
     if (callbacks_.on_backoff_offer) callbacks_.on_backoff_offer(op);
   };
 
-  // Data sites.
+  // Data sites. In a sharded run only owned sites are instantiated; the
+  // vector keeps its full length (nullptr holes) so site -> index
+  // arithmetic is shard-independent.
   for (SiteId s : data_sites) {
+    if (!OwnsSite(s)) {
+      backends_.push_back(nullptr);
+      continue;
+    }
     std::unique_ptr<DataSiteBackend> backend;
     if (options_.backend == BackendKind::kUnified) {
       UnifiedQmOptions qm;
@@ -103,6 +150,10 @@ void Engine::BuildSites() {
   issuer_options.semi_locks =
       options_.semi_locks && options_.backend == BackendKind::kUnified;
   for (std::uint32_t u = 0; u < num_user; ++u) {
+    if (!OwnsSite(u)) {
+      issuers_.push_back(nullptr);
+      continue;
+    }
     if (options_.max_clock_skew > 0) {
       issuer_options.clock_skew =
           root_rng_.UniformInt(options_.max_clock_skew + 1);
@@ -145,30 +196,36 @@ void Engine::BuildSites() {
   }
 
   // Deadlock detection.
-  TxnDirectory directory;
-  directory.protocol_of = [this](TxnId t) {
-    auto it = txn_meta_.find(t);
-    return it == txn_meta_.end() ? Protocol::kTwoPhaseLocking
-                                 : it->second.protocol;
-  };
-  directory.home_of = [this](TxnId t) {
-    auto it = txn_meta_.find(t);
-    return it == txn_meta_.end() ? SiteId{0} : it->second.home;
-  };
-  transport_->RegisterSite(detector_site_,
-                           [this](SiteId from, const Message& m) {
-                             RouteToDetectorSite(from, m);
-                           });
-  if (options_.detector == DetectorKind::kCentral) {
+  const TxnDirectory directory = MakeDirectory();
+  if (OwnsSite(detector_site_)) {
+    transport_->RegisterSite(detector_site_,
+                             [this](SiteId from, const Message& m) {
+                               RouteToDetectorSite(from, m);
+                             });
+  }
+  if (options_.detector == DetectorKind::kCentral &&
+      OwnsSite(detector_site_)) {
     central_detector_ = std::make_unique<CentralDeadlockDetector>(
         detector_site_, ctx, options_.central_detector, data_sites,
         directory);
-    central_detector_->SetStopFlag(&stopped_);
+    // The central detector serves every shard, so in a sharded run its
+    // ticks stop only on the coordinator's global flag, not when this
+    // shard's own transactions happen to be done.
+    central_detector_->SetStopFlag(shard_ctx_.global_stop != nullptr
+                                       ? shard_ctx_.global_stop
+                                       : &stopped_);
     central_detector_->Start();
   } else if (options_.detector == DetectorKind::kProbe) {
     for (std::uint32_t u = 0; u < num_user; ++u) {
+      if (!OwnsSite(u)) {
+        probe_detectors_.push_back(nullptr);
+        continue;
+      }
       auto det = std::make_unique<ProbeDeadlockDetector>(
           u, ctx, options_.probe_detector, issuers_[u].get(), directory);
+      // Probe initiation is local: once every transaction homed here has
+      // committed no local issuer waits again, so the shard-local flag is
+      // a safe stop condition even mid-run.
       det->SetStopFlag(&stopped_);
       det->Start();
       probe_detectors_.push_back(std::move(det));
@@ -190,7 +247,9 @@ void Engine::RouteToUserSite(SiteId site, SiteId from, const Message& m) {
   } else if (const auto* v = std::get_if<msg::Victim>(&m)) {
     issuer->OnVictim(*v);
   } else if (const auto* p = std::get_if<msg::Probe>(&m)) {
-    if (site < probe_detectors_.size()) probe_detectors_[site]->OnProbe(*p);
+    if (site < probe_detectors_.size() && probe_detectors_[site] != nullptr) {
+      probe_detectors_[site]->OnProbe(*p);
+    }
   } else {
     UNICC_CHECK_MSG(false, "unexpected message at user site");
   }
@@ -218,17 +277,7 @@ void Engine::RouteToDataSite(SiteId site, SiteId from, const Message& m) {
     ctx.sim = &sim_;
     ctx.transport = transport_.get();
     ctx.log = &log_;
-    TxnDirectory directory;
-    directory.protocol_of = [this](TxnId t) {
-      auto it = txn_meta_.find(t);
-      return it == txn_meta_.end() ? Protocol::kTwoPhaseLocking
-                                   : it->second.protocol;
-    };
-    directory.home_of = [this](TxnId t) {
-      auto it = txn_meta_.find(t);
-      return it == txn_meta_.end() ? SiteId{0} : it->second.home;
-    };
-    HandleProbeQuery(site, ctx, *backend, directory, *pq);
+    HandleProbeQuery(site, ctx, *backend, MakeDirectory(), *pq);
   } else {
     UNICC_CHECK_MSG(false, "unexpected message at data site");
   }
@@ -286,13 +335,20 @@ void Engine::AdmitSpec(TxnSpec spec, SimTime arrival) {
                     "pure backend cannot mix protocols");
   }
   txn_meta_[spec.id] = TxnMeta{spec.home, spec.protocol};
+  if (shard_ctx_.directory != nullptr) {
+    shard_ctx_.directory->Publish(shard_ctx_.shard, spec.id,
+                                  ShardDirectory::TxnMeta{spec.home,
+                                                          spec.protocol});
+  }
   IssuerAt(spec.home)->Begin(spec, arrival);
 }
 
 void Engine::SetCompute(TxnId txn, ComputeFn fn) {
   // The home issuer is not known until admission, so the function is staged
   // on every issuer; ids are unique, only the home site ever consumes it.
-  for (auto& issuer : issuers_) issuer->SetCompute(txn, fn);
+  for (auto& issuer : issuers_) {
+    if (issuer != nullptr) issuer->SetCompute(txn, fn);
+  }
 }
 
 void Engine::SetProtocolPolicy(ProtocolPolicy policy) {
@@ -367,13 +423,13 @@ void Engine::CloseAdmission() {
   stream_.reset();
 }
 
-RunSummary Engine::Run() {
+void Engine::BeginShardRun() {
   // With nothing pending the stop flag can never flip on a commit, and the
   // deadlock detector would re-schedule its tick forever.
   if (committed_count_ == admitted_ && !StreamActive()) stopped_ = true;
-  sim_.RunToCompletion();
-  UNICC_CHECK_MSG(committed_count_ == admitted_,
-                  "run drained with uncommitted transactions");
+}
+
+RunSummary Engine::Summarize() const {
   RunSummary s;
   s.admitted = admitted_;
   s.committed = committed_count_;
@@ -383,21 +439,37 @@ RunSummary Engine::Run() {
   s.deadlock_victims = deadlock_victim_count();
   s.mean_system_time_ms = metrics_.MeanSystemTimeMs();
   for (const auto& issuer : issuers_) {
+    if (issuer == nullptr) continue;
     s.reject_restarts += issuer->reject_restarts();
     s.backoff_rounds += issuer->backoff_rounds();
   }
   return s;
 }
 
+RunSummary Engine::Run() {
+  BeginShardRun();
+  sim_.RunToCompletion();
+  UNICC_CHECK_MSG(committed_count_ == admitted_,
+                  "run drained with uncommitted transactions");
+  return Summarize();
+}
+
 SerializabilityReport Engine::CheckSerializability() const {
   return ConflictGraphChecker::Check(log_, committed_);
+}
+
+std::uint64_t Engine::ReadCopy(const CopyId& copy) const {
+  const SiteId idx = copy.site - options_.num_user_sites;
+  UNICC_CHECK(idx < backends_.size());
+  UNICC_CHECK_MSG(backends_[idx] != nullptr,
+                  "copy's site owned by another shard");
+  return backends_[idx]->store().Read(copy);
 }
 
 std::vector<std::uint64_t> Engine::ReadReplicas(ItemId item) const {
   std::vector<std::uint64_t> out;
   for (const CopyId& copy : catalog_->CopiesOf(item)) {
-    const SiteId idx = copy.site - options_.num_user_sites;
-    out.push_back(backends_[idx]->store().Read(copy));
+    out.push_back(ReadCopy(copy));
   }
   return out;
 }
@@ -423,19 +495,22 @@ std::string Engine::DebugDump() const {
                 sim_.PendingEvents());
   out += buf;
   for (const auto& issuer : issuers_) {
+    if (issuer == nullptr) continue;
     std::snprintf(buf, sizeof(buf), "issuer site %u: %zu active\n",
                   issuer->site(), issuer->ActiveCount());
     out += buf;
   }
   for (const auto& backend : backends_) {
-    out += backend->DebugString();
+    if (backend != nullptr) out += backend->DebugString();
   }
   return out;
 }
 
 std::uint64_t Engine::deadlock_victim_count() const {
   std::uint64_t n = 0;
-  for (const auto& issuer : issuers_) n += issuer->deadlock_restarts();
+  for (const auto& issuer : issuers_) {
+    if (issuer != nullptr) n += issuer->deadlock_restarts();
+  }
   return n;
 }
 

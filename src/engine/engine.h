@@ -18,6 +18,7 @@
 #include "common/rng.h"
 #include "common/status.h"
 #include "engine/config.h"
+#include "engine/shard.h"
 #include "metrics/metrics.h"
 #include "metrics/timeline.h"
 #include "serializability/conflict_graph.h"
@@ -28,6 +29,24 @@
 #include "workload/stream.h"
 
 namespace unicc {
+
+class ShardBus;
+class ShardedTransport;
+
+// Wiring for one shard of a sharded run (owned by ShardedEngine). The
+// default state (plan == nullptr) selects the classic unsharded engine;
+// with a plan installed the engine instantiates only the sites its shard
+// owns and routes cross-shard messages through the bus.
+struct ShardContext {
+  std::uint32_t shard = 0;
+  const ShardPlan* plan = nullptr;
+  ShardBus* bus = nullptr;
+  ShardDirectory* directory = nullptr;
+  // When set, the central detector polls this coordinator-owned flag
+  // instead of the engine-local one: a shard must not silence the global
+  // detector just because its own transactions all committed.
+  const bool* global_stop = nullptr;
+};
 
 // Optional external observers (the STL parameter estimator subscribes).
 struct EngineCallbacks {
@@ -55,7 +74,10 @@ struct RunSummary {
 
 class Engine {
  public:
-  explicit Engine(EngineOptions options, EngineCallbacks callbacks = {});
+  // Prefer EngineBuilder (engine/builder.h), which validates the options
+  // and returns Status instead of aborting on invalid configurations.
+  explicit Engine(EngineOptions options, EngineCallbacks callbacks = {},
+                  ShardContext shard = {});
   ~Engine();
   Engine(const Engine&) = delete;
   Engine& operator=(const Engine&) = delete;
@@ -66,10 +88,14 @@ class Engine {
   Status AddTransaction(SimTime when, TxnSpec spec);
 
   // Installs a per-transaction compute function (before its arrival).
+  // Deprecated as a post-construction mutator: prefer staging compute
+  // functions through EngineBuilder so the engine is fully configured
+  // before the first event runs.
   void SetCompute(TxnId txn, ComputeFn fn);
 
   // Applied at admission time to (re)choose each transaction's protocol;
-  // the dynamic selector plugs in here.
+  // the dynamic selector plugs in here. Deprecated as a post-construction
+  // mutator: prefer EngineBuilder::WithProtocolPolicy.
   void SetProtocolPolicy(ProtocolPolicy policy);
 
   // Convenience: admit a whole generated workload (closed-batch mode:
@@ -84,6 +110,8 @@ class Engine {
   // `max_inflight` holds an arrival at the gate until a commit frees a
   // slot (it is then admitted at that commit's time). Call before Run();
   // batch arrivals added via AddWorkload interleave with the stream.
+  // Deprecated as a post-construction mutator: prefer
+  // EngineBuilder::WithArrivalStream.
   void SetArrivalStream(std::unique_ptr<ArrivalStream> stream);
 
   // Runs the event loop until every admitted transaction committed, the
@@ -110,12 +138,45 @@ class Engine {
   std::uint64_t deadlock_victim_count() const;
   SiteId detector_site() const { return detector_site_; }
 
+  // --- sharded-run interface (driven by ShardedEngine) ------------------
+  // Mirrors Run()'s head: marks the engine stoppable when nothing is
+  // pending, so detector ticks do not spin an empty shard forever. Call
+  // once before the first RunWindow.
+  void BeginShardRun();
+  // Runs every event with timestamp < end (the conservative window);
+  // returns the number executed.
+  std::uint64_t RunWindow(SimTime end) { return sim_.RunUntil(end - 1); }
+  // Stops detector ticks from rescheduling so the shard can drain.
+  void ForceStop() { stopped_ = true; }
+  SimTime NextEventTime() const { return sim_.NextEventTime(); }
+  std::uint64_t admitted() const { return admitted_; }
+  std::uint64_t committed_count() const { return committed_count_; }
+  SimTime last_commit() const { return last_commit_; }
+  const CommittedSet& committed_set() const { return committed_; }
+  // Per-shard summary of a drained run (Run()'s tail, without the event
+  // loop).
+  RunSummary Summarize() const;
+  // Reads one physical copy; the copy's site must be owned by this shard.
+  std::uint64_t ReadCopy(const CopyId& copy) const;
+  // Non-null iff this engine is a shard (the transport downcast the
+  // coordinator uses to inject drained envelopes).
+  ShardedTransport* sharded_transport() { return sharded_transport_; }
+
   // Human-readable dump of all non-empty data queues and in-flight
   // transactions (debugging/observability).
   std::string DebugDump() const;
 
  private:
   void BuildSites();
+  // True when this engine is one shard of a ShardedEngine run.
+  bool IsShard() const { return shard_ctx_.plan != nullptr; }
+  // True when this engine instantiates `site` (always, unless sharded).
+  bool OwnsSite(SiteId site) const {
+    return !IsShard() || shard_ctx_.plan->Owns(shard_ctx_.shard, site);
+  }
+  // The detectors' txn -> (protocol, home) view: local admissions first,
+  // then the cross-shard directory.
+  TxnDirectory MakeDirectory();
   Status ValidateSpec(const TxnSpec& spec) const;
   // Runs at a transaction's arrival time: applies the protocol policy and
   // hands the pooled spec to its home issuer.
@@ -150,6 +211,7 @@ class Engine {
 
   EngineOptions options_;
   EngineCallbacks callbacks_;
+  ShardContext shard_ctx_;
   Rng root_rng_;
   Simulator sim_;
   std::unique_ptr<SimTransport> transport_;
@@ -159,8 +221,11 @@ class Engine {
   std::unique_ptr<TimelineRecorder> timeline_;
 
   SiteId detector_site_ = 0;
-  std::vector<std::unique_ptr<RequestIssuer>> issuers_;        // per user site
-  std::vector<std::unique_ptr<DataSiteBackend>> backends_;     // per data site
+  // Per user/data site; in a sharded engine, unowned sites hold nullptr so
+  // site -> index arithmetic stays shard-independent.
+  std::vector<std::unique_ptr<RequestIssuer>> issuers_;
+  std::vector<std::unique_ptr<DataSiteBackend>> backends_;
+  ShardedTransport* sharded_transport_ = nullptr;  // borrowed, see transport_
   std::unique_ptr<CentralDeadlockDetector> central_detector_;
   std::vector<std::unique_ptr<ProbeDeadlockDetector>> probe_detectors_;
 

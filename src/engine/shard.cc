@@ -1,0 +1,23 @@
+#include "engine/shard.h"
+
+#include "common/check.h"
+
+namespace unicc {
+
+ShardPlan ShardPlan::Build(const EngineOptions& options) {
+  ShardPlan plan;
+  plan.shards = options.shards == 0 ? 1 : options.shards;
+  const std::uint32_t num_user = options.num_user_sites;
+  const std::uint32_t num_data = options.num_data_sites;
+  plan.site_shard.resize(num_user + num_data + 1);
+  for (std::uint32_t u = 0; u < num_user; ++u) {
+    plan.site_shard[u] = u % plan.shards;
+  }
+  for (std::uint32_t j = 0; j < num_data; ++j) {
+    plan.site_shard[num_user + j] = j % plan.shards;
+  }
+  plan.site_shard[num_user + num_data] = 0;  // detector site
+  return plan;
+}
+
+}  // namespace unicc

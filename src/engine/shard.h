@@ -1,0 +1,79 @@
+// Site partitioning for the sharded engine: a static, deterministic map
+// from every site (user, data, detector) to its owning shard, plus the
+// cross-shard transaction directory the deadlock detectors consult.
+//
+// Partition rule: user site u -> u mod N, data site with index j -> j mod
+// N, the detector site -> shard 0. Round-robin keeps both site kinds
+// balanced for any N <= min(user_sites, data_sites), which EngineOptions
+// validation enforces.
+#ifndef UNICC_ENGINE_SHARD_H_
+#define UNICC_ENGINE_SHARD_H_
+
+#include <cstdint>
+#include <unordered_map>
+#include <utility>
+#include <vector>
+
+#include "common/types.h"
+#include "engine/config.h"
+
+namespace unicc {
+
+struct ShardPlan {
+  std::uint32_t shards = 1;
+  std::vector<std::uint32_t> site_shard;  // indexed by SiteId
+
+  static ShardPlan Build(const EngineOptions& options);
+
+  std::uint32_t OwnerOf(SiteId site) const { return site_shard[site]; }
+  bool Owns(std::uint32_t shard, SiteId site) const {
+    return site_shard[site] == shard;
+  }
+};
+
+// Shared txn -> (home, protocol) directory. Each shard learns about its own
+// admissions immediately (the engine's local map); entries for remote
+// transactions are published into per-shard pending lists during a window
+// (owner-thread-only writes) and folded into the global map by the
+// coordinator at the next barrier. Detector messages that mention a remote
+// transaction always trail its admission by at least one delivery delay —
+// one full window — so the global map is never consulted before it has the
+// entry.
+class ShardDirectory {
+ public:
+  struct TxnMeta {
+    SiteId home = 0;
+    Protocol protocol = Protocol::kTwoPhaseLocking;
+  };
+
+  explicit ShardDirectory(std::uint32_t shards) : pending_(shards) {}
+
+  // Owner-thread side, between barriers.
+  void Publish(std::uint32_t shard, TxnId txn, TxnMeta meta) {
+    pending_[shard].emplace_back(txn, meta);
+  }
+
+  // Coordinator, at a barrier: folds every pending list into the global
+  // map in stable shard order.
+  void MergePending() {
+    for (auto& lane : pending_) {
+      for (auto& [txn, meta] : lane) global_[txn] = meta;
+      lane.clear();
+    }
+  }
+
+  // Safe from shard threads during a window: the coordinator only writes
+  // at barriers, and barrier arrival orders those writes before the reads.
+  const TxnMeta* Find(TxnId txn) const {
+    auto it = global_.find(txn);
+    return it == global_.end() ? nullptr : &it->second;
+  }
+
+ private:
+  std::vector<std::vector<std::pair<TxnId, TxnMeta>>> pending_;
+  std::unordered_map<TxnId, TxnMeta> global_;
+};
+
+}  // namespace unicc
+
+#endif  // UNICC_ENGINE_SHARD_H_

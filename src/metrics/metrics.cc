@@ -32,6 +32,20 @@ void DurationStat::Add(Duration d) {
   }
 }
 
+void DurationStat::Merge(const DurationStat& other) {
+  if (other.count_ == 0) return;
+  if (count_ == 0) {
+    *this = other;  // exact copy, including the reservoir generator state
+    return;
+  }
+  count_ += other.count_;
+  sum_ += other.sum_;
+  max_ = std::max(max_, other.max_);
+  samples_.insert(samples_.end(), other.samples_.begin(),
+                  other.samples_.end());
+  sorted_ = false;
+}
+
 double DurationStat::MeanMs() const {
   if (count_ == 0) return 0;
   return sum_ / static_cast<double>(count_) / 1000.0;
@@ -73,6 +87,25 @@ void RunMetrics::OnRestart(Protocol proto, TxnOutcome why) {
     ++reject_restarts_;
   } else if (why == TxnOutcome::kRestartedByDeadlock) {
     ++deadlock_restarts_;
+  }
+}
+
+void RunMetrics::MergeFrom(const RunMetrics& other) {
+  for (std::size_t p = 0; p < kNumProtocols; ++p) {
+    ProtocolStats& dst = per_proto_[p];
+    const ProtocolStats& src = other.per_proto_[p];
+    dst.committed += src.committed;
+    dst.restarts += src.restarts;
+    dst.backoff_rounds += src.backoff_rounds;
+    dst.system_time.Merge(src.system_time);
+  }
+  all_system_time_.Merge(other.all_system_time_);
+  total_committed_ += other.total_committed_;
+  deadlock_restarts_ += other.deadlock_restarts_;
+  reject_restarts_ += other.reject_restarts_;
+  if (keep_results_) {
+    results_.insert(results_.end(), other.results_.begin(),
+                    other.results_.end());
   }
 }
 

@@ -26,6 +26,13 @@ class DurationStat {
   static constexpr std::size_t kMaxSamples = 4096;
 
   void Add(Duration d);
+
+  // Folds another stat into this one (sharded-run merge). Count, sum and
+  // max stay exact; retained samples are concatenated, so percentiles over
+  // the union keep every sample both sides retained. Merging into a fresh
+  // stat is an exact copy.
+  void Merge(const DurationStat& other);
+
   std::uint64_t count() const { return count_; }
   double MeanMs() const;
   double PercentileMs(double p) const;  // p in [0,100]
@@ -55,6 +62,11 @@ class RunMetrics {
 
   void OnCommit(const TxnResult& r);
   void OnRestart(Protocol proto, TxnOutcome why);
+
+  // Folds another run's metrics into this one; used to combine per-shard
+  // metrics in stable shard order. keep_results_ rows are appended in call
+  // order, so the merged results() list is deterministic.
+  void MergeFrom(const RunMetrics& other);
 
   const ProtocolStats& ForProtocol(Protocol p) const {
     return per_proto_[static_cast<std::size_t>(p)];

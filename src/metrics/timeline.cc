@@ -31,6 +31,24 @@ void TimelineRecorder::OnRestart(SimTime now, Protocol proto) {
   ++At(now).restarts_by_proto[static_cast<std::size_t>(proto)];
 }
 
+void TimelineRecorder::MergeFrom(const TimelineRecorder& other) {
+  UNICC_CHECK_MSG(window_ == other.window_,
+                  "merging timelines with different window lengths");
+  if (!other.windows_.empty()) {
+    At(other.windows_.back().start);  // grow to cover the other's range
+  }
+  for (std::size_t i = 0; i < other.windows_.size(); ++i) {
+    WindowStats& dst = windows_[i];
+    const WindowStats& src = other.windows_[i];
+    dst.committed += src.committed;
+    for (std::size_t p = 0; p < kNumProtocols; ++p) {
+      dst.committed_by_proto[p] += src.committed_by_proto[p];
+      dst.restarts_by_proto[p] += src.restarts_by_proto[p];
+    }
+    dst.system_time.Merge(src.system_time);
+  }
+}
+
 std::string TimelineRecorder::ExportCsv() const {
   std::string out =
       "window,start_ms,end_ms,committed,throughput_tps,mean_s_ms,p99_s_ms,"

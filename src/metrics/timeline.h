@@ -41,6 +41,11 @@ class TimelineRecorder {
     DurationStat system_time;
   };
 
+  // Folds another recorder (same window length) into this one; windows are
+  // summed index-wise. Used to combine per-shard timelines in stable shard
+  // order.
+  void MergeFrom(const TimelineRecorder& other);
+
   Duration window() const { return window_; }
   // Windows from t=0 through the last one that saw an event; interior
   // windows with no events are present (all-zero).

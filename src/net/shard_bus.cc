@@ -1,0 +1,48 @@
+#include "net/shard_bus.h"
+
+#include <algorithm>
+#include <tuple>
+
+#include "common/check.h"
+
+namespace unicc {
+
+ShardBus::ShardBus(std::uint32_t shards, std::size_t lane_capacity)
+    : shards_(shards), lane_capacity_(lane_capacity) {
+  UNICC_CHECK(shards > 0);
+  lanes_.resize(static_cast<std::size_t>(shards) * shards);
+}
+
+void ShardBus::Push(std::uint32_t src, std::uint32_t dst, ShardEnvelope e) {
+  std::vector<ShardEnvelope>& lane =
+      lanes_[static_cast<std::size_t>(src) * shards_ + dst];
+  UNICC_CHECK_MSG(lane.size() < lane_capacity_, "shard bus lane overflow");
+  lane.push_back(std::move(e));
+}
+
+std::vector<ShardEnvelope> ShardBus::DrainTo(std::uint32_t dst) {
+  std::vector<ShardEnvelope> out;
+  for (std::uint32_t src = 0; src < shards_; ++src) {
+    std::vector<ShardEnvelope>& lane =
+        lanes_[static_cast<std::size_t>(src) * shards_ + dst];
+    out.insert(out.end(), std::make_move_iterator(lane.begin()),
+               std::make_move_iterator(lane.end()));
+    lane.clear();
+  }
+  std::sort(out.begin(), out.end(),
+            [](const ShardEnvelope& a, const ShardEnvelope& b) {
+              return std::tie(a.when, a.src_shard, a.seq) <
+                     std::tie(b.when, b.src_shard, b.seq);
+            });
+  drained_ += out.size();
+  return out;
+}
+
+bool ShardBus::Empty() const {
+  for (const auto& lane : lanes_) {
+    if (!lane.empty()) return false;
+  }
+  return true;
+}
+
+}  // namespace unicc

@@ -1,0 +1,64 @@
+// Cross-shard message exchange for the sharded engine. Each ordered shard
+// pair owns one bounded lane; during a window only the source shard's
+// thread appends to its lanes, and at the window barrier the coordinator
+// drains every lane single-threaded. All synchronization comes from the
+// barrier's happens-before edges — the bus itself has no atomics or locks,
+// which keeps the window hot path free of cache-line ping-pong and makes
+// drain order (and thus the whole run) deterministic.
+#ifndef UNICC_NET_SHARD_BUS_H_
+#define UNICC_NET_SHARD_BUS_H_
+
+#include <cstdint>
+#include <vector>
+
+#include "common/types.h"
+#include "net/message.h"
+
+namespace unicc {
+
+// One cross-shard message with its precomputed delivery time. `seq` is the
+// source shard's send counter, so (when, src_shard, seq) is a total order
+// over every envelope a destination drains.
+struct ShardEnvelope {
+  SimTime when = 0;
+  std::uint32_t src_shard = 0;
+  SiteId from = 0;
+  SiteId to = 0;
+  std::uint64_t seq = 0;
+  Message msg;
+};
+
+class ShardBus {
+ public:
+  // Per-lane envelope cap; a window can never legitimately buffer more
+  // in-flight cross-shard messages than live transactions times requests,
+  // so hitting the bound indicates a runaway protocol bug.
+  static constexpr std::size_t kDefaultLaneCapacity = 1u << 22;
+
+  explicit ShardBus(std::uint32_t shards,
+                    std::size_t lane_capacity = kDefaultLaneCapacity);
+
+  // Appends to the (src, dst) lane. Called only by shard `src`'s thread,
+  // strictly between two window barriers.
+  void Push(std::uint32_t src, std::uint32_t dst, ShardEnvelope e);
+
+  // Moves every envelope destined for `dst` out of its lanes, sorted by
+  // (when, src_shard, seq). Coordinator-only, at a window barrier.
+  std::vector<ShardEnvelope> DrainTo(std::uint32_t dst);
+
+  // True when every lane is empty. Coordinator-only, at a barrier.
+  bool Empty() const;
+
+  // Envelopes drained so far (coordinator-side count of shard crossings).
+  std::uint64_t drained() const { return drained_; }
+
+ private:
+  std::uint32_t shards_;
+  std::size_t lane_capacity_;
+  std::vector<std::vector<ShardEnvelope>> lanes_;  // [src * shards_ + dst]
+  std::uint64_t drained_ = 0;
+};
+
+}  // namespace unicc
+
+#endif  // UNICC_NET_SHARD_BUS_H_

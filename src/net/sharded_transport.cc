@@ -1,0 +1,56 @@
+#include "net/sharded_transport.h"
+
+#include <utility>
+
+#include "common/check.h"
+
+namespace unicc {
+
+namespace {
+std::uint64_t ChannelKey(SiteId from, SiteId to) {
+  return (static_cast<std::uint64_t>(from) << 32) | to;
+}
+}  // namespace
+
+ShardedTransport::ShardedTransport(Simulator* sim, NetworkOptions options,
+                                   Rng rng, std::uint32_t shard,
+                                   std::vector<std::uint32_t> site_shard,
+                                   ShardBus* bus, Rng cross_rng)
+    : SimTransport(sim, options, rng),
+      shard_(shard),
+      site_shard_(std::move(site_shard)),
+      bus_(bus),
+      cross_rng_(cross_rng) {
+  UNICC_CHECK(bus_ != nullptr);
+}
+
+void ShardedTransport::Send(SiteId from, SiteId to, Message m) {
+  UNICC_CHECK_MSG(to < site_shard_.size(), "send to unknown site");
+  const std::uint32_t dst = site_shard_[to];
+  if (dst == shard_) {
+    SimTransport::Send(from, to, std::move(m));
+    return;
+  }
+  // from != to always holds across shards.
+  Account(m, true);
+  Duration delay = options().base_delay;
+  if (options().jitter_mean > 0) {
+    delay += static_cast<Duration>(
+        cross_rng_.Exponential(static_cast<double>(options().jitter_mean)));
+  }
+  SimTime deliver = sim()->Now() + delay;
+  if (options().fifo_per_channel) {
+    SimTime& last = cross_last_[ChannelKey(from, to)];
+    if (deliver <= last) deliver = last + 1;
+    last = deliver;
+  }
+  bus_->Push(shard_, dst,
+             ShardEnvelope{deliver, shard_, from, to, cross_seq_++,
+                           std::move(m)});
+}
+
+void ShardedTransport::Inject(ShardEnvelope e) {
+  ScheduleDelivery(e.when, e.from, e.to, std::move(e.msg));
+}
+
+}  // namespace unicc

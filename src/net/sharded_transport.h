@@ -1,0 +1,56 @@
+// Shard-aware transport: messages whose destination site lives in the same
+// shard go through the normal SimTransport path; messages to a site owned
+// by another shard are accounted and stamped with their delivery time
+// here, then parked on the ShardBus until the coordinator injects them
+// into the destination shard at a window barrier.
+//
+// Cross-shard delivery times use the same base+jitter model as local
+// remote sends, drawn from a dedicated rng (seeded identically in every
+// shard count) so the in-shard delay stream is untouched — that is what
+// keeps `shards = 1` byte-identical to the classic engine. FIFO-per-channel
+// is enforced with a shard-local clamp per (from, to) pair; cross and
+// in-shard channels are disjoint, so the two clamps never interact.
+#ifndef UNICC_NET_SHARDED_TRANSPORT_H_
+#define UNICC_NET_SHARDED_TRANSPORT_H_
+
+#include <cstdint>
+#include <unordered_map>
+#include <vector>
+
+#include "common/rng.h"
+#include "common/types.h"
+#include "net/shard_bus.h"
+#include "net/transport.h"
+
+namespace unicc {
+
+class ShardedTransport : public SimTransport {
+ public:
+  // `site_shard` maps every SiteId to its owning shard; `bus` must outlive
+  // the transport. `cross_rng` feeds only cross-shard jitter draws.
+  ShardedTransport(Simulator* sim, NetworkOptions options, Rng rng,
+                   std::uint32_t shard, std::vector<std::uint32_t> site_shard,
+                   ShardBus* bus, Rng cross_rng);
+
+  void Send(SiteId from, SiteId to, Message m) override;
+
+  // Schedules a drained envelope into this shard's simulator. Called by
+  // the coordinator at a window barrier; e.when is always at or beyond the
+  // window boundary (delivery delay >= the lookahead bound).
+  void Inject(ShardEnvelope e);
+
+  std::uint64_t cross_sends() const { return cross_seq_; }
+
+ private:
+  std::uint32_t shard_;
+  std::vector<std::uint32_t> site_shard_;
+  ShardBus* bus_;
+  Rng cross_rng_;
+  std::uint64_t cross_seq_ = 0;
+  // FIFO clamp per cross-shard (from, to) channel.
+  std::unordered_map<std::uint64_t, SimTime> cross_last_;
+};
+
+}  // namespace unicc
+
+#endif  // UNICC_NET_SHARDED_TRANSPORT_H_

@@ -46,12 +46,26 @@ void SimTransport::Deliver(SiteId from, SiteId to, std::uint32_t node) {
   handlers_[to](from, m);
 }
 
+void SimTransport::Account(const Message& m, bool remote) {
+  ++total_messages_;
+  if (remote) ++remote_messages_;
+  ++by_kind_[m.index()];
+}
+
+void SimTransport::ScheduleDelivery(SimTime when, SiteId from, SiteId to,
+                                    Message m) {
+  UNICC_CHECK_MSG(to < handlers_.size() && handlers_[to],
+                  "delivery scheduled to unregistered site");
+  const std::uint32_t node = AcquireNode(std::move(m));
+  sim_->ScheduleAt(when, [this, from, to, node]() {
+    Deliver(from, to, node);
+  });
+}
+
 void SimTransport::Send(SiteId from, SiteId to, Message m) {
   UNICC_CHECK_MSG(to < handlers_.size() && handlers_[to],
                   "message sent to unregistered site");
-  ++total_messages_;
-  if (from != to) ++remote_messages_;
-  ++by_kind_[m.index()];
+  Account(m, from != to);
   const Duration delay = DelayFor(from, to);
   SimTime deliver = sim_->Now() + delay;
   if (options_.fifo_per_channel) {

@@ -64,6 +64,15 @@ class SimTransport : public Transport {
   }
   void ResetCounters();
 
+ protected:
+  // Hooks for transports layered on the simulated substrate (see
+  // ShardedTransport): counter accounting without scheduling, and direct
+  // scheduling of a delivery whose delay was computed elsewhere.
+  void Account(const Message& m, bool remote);
+  void ScheduleDelivery(SimTime when, SiteId from, SiteId to, Message m);
+  Simulator* sim() const { return sim_; }
+  const NetworkOptions& options() const { return options_; }
+
  private:
   Duration DelayFor(SiteId from, SiteId to);
 

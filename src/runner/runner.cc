@@ -1,0 +1,254 @@
+#include "runner/runner.h"
+
+#include <algorithm>
+#include <utility>
+
+#include "common/check.h"
+#include "engine/builder.h"
+
+namespace unicc::runner {
+
+EngineCallbacks EstimatorCallbacks(ParamEstimator* est) {
+  EngineCallbacks callbacks;
+  callbacks.on_commit = [est](const TxnResult& r) { est->OnCommit(r); };
+  callbacks.on_request_sent = [est](Protocol p, OpType op) {
+    est->OnRequestSent(p, op);
+  };
+  callbacks.on_lock_hold = [est](Protocol p, Duration d, bool a) {
+    est->OnLockHold(p, d, a);
+  };
+  callbacks.on_restart = [est](Protocol p, TxnOutcome w) {
+    est->OnRestart(p, w);
+  };
+  callbacks.on_grant = [est](const CopyId&, OpType op, Protocol) {
+    est->OnGrant(op);
+  };
+  callbacks.on_reject = [est](OpType op, Protocol p) {
+    est->OnReject(op, p);
+  };
+  callbacks.on_backoff_offer = [est](OpType op) {
+    est->OnBackoffOffer(op);
+  };
+  return callbacks;
+}
+
+namespace {
+
+template <typename EngineT, typename KindCountFn>
+RunStats ExtractStatsImpl(EngineT& engine, const RunSummary& summary,
+                          KindCountFn&& kind_count) {
+  RunStats out;
+  out.mean_s_ms = engine.metrics().MeanSystemTimeMs();
+  out.p95_s_ms = engine.metrics().SystemTime().PercentileMs(95);
+  out.admitted = summary.admitted;
+  out.makespan = summary.makespan;
+  out.total_messages = summary.total_messages;
+  out.log_records = engine.log().TotalRecords();
+  out.replicas_consistent = engine.ReplicasConsistent();
+  out.committed = summary.committed;
+  out.deadlock_victims = summary.deadlock_victims;
+  out.reject_restarts = summary.reject_restarts;
+  out.backoff_rounds = summary.backoff_rounds;
+  out.msgs_per_txn = summary.committed == 0
+                         ? 0
+                         : static_cast<double>(summary.remote_messages) /
+                               static_cast<double>(summary.committed);
+  std::uint64_t cc_msgs = 0;
+  for (MessageKind k :
+       {MessageKind::kCcRequest, MessageKind::kGrant, MessageKind::kBackoff,
+        MessageKind::kPaAccept, MessageKind::kFinalTs, MessageKind::kReject,
+        MessageKind::kRelease, MessageKind::kSemiTransform,
+        MessageKind::kAbortTxn}) {
+    cc_msgs += kind_count(k);
+  }
+  out.cc_msgs_per_txn = summary.committed == 0
+                            ? 0
+                            : static_cast<double>(cc_msgs) /
+                                  static_cast<double>(summary.committed);
+  out.throughput = engine.metrics().ThroughputPerSec(summary.makespan);
+  out.serializable = engine.CheckSerializability().serializable;
+  for (int p = 0; p < kNumProtocols; ++p) {
+    const auto& ps = engine.metrics().ForProtocol(static_cast<Protocol>(p));
+    out.mean_s_ms_by_proto[p] = ps.system_time.MeanMs();
+    out.committed_by_proto[p] = ps.committed;
+  }
+  return out;
+}
+
+}  // namespace
+
+RunStats ExtractStats(Engine& engine, const RunSummary& summary) {
+  return ExtractStatsImpl(engine, summary, [&engine](MessageKind k) {
+    return engine.transport().MessagesOfKind(k);
+  });
+}
+
+RunStats ExtractStats(ShardedEngine& engine, const RunSummary& summary) {
+  return ExtractStatsImpl(engine, summary, [&engine](MessageKind k) {
+    return engine.MessagesOfKind(k);
+  });
+}
+
+std::uint32_t NegotiateJobs(std::uint32_t requested_jobs,
+                            std::uint32_t shards,
+                            std::uint32_t hardware_threads) {
+  if (requested_jobs == 0) requested_jobs = 1;
+  if (shards == 0) shards = 1;
+  if (hardware_threads == 0) hardware_threads = 1;
+  const std::uint32_t cap = std::max(1u, hardware_threads / shards);
+  return std::min(requested_jobs, cap);
+}
+
+RunSession::RunSession(RunRequest request)
+    : request_(std::move(request)), spec_(*request_.spec) {
+  if (request_.seed.has_value()) spec_.engine.seed = *request_.seed;
+  if (request_.metrics_window.has_value()) {
+    spec_.engine.metrics_window = *request_.metrics_window;
+  }
+  if (request_.shards.has_value()) spec_.engine.shards = *request_.shards;
+  shards_ = spec_.engine.shards;
+  sharded_ = shards_ > 1 || request_.force_sharded;
+}
+
+RunSession::~RunSession() = default;
+
+StatusOr<std::unique_ptr<RunSession>> RunSession::Create(RunRequest request) {
+  if (request.spec == nullptr) {
+    return Status::InvalidArgument("RunRequest needs a scenario spec");
+  }
+  if (request.arrivals == nullptr && request.forced != nullptr) {
+    return Status::InvalidArgument(
+        "a forced-protocol set only makes sense with replay arrivals");
+  }
+  auto session = std::unique_ptr<RunSession>(new RunSession(std::move(request)));
+  if (Status s = session->spec_.engine.Validate(); !s.ok()) return s;
+  if (session->sharded_ && session->request_.arrivals == nullptr &&
+      session->spec_.IsOpenSystem()) {
+    return Status::InvalidArgument(
+        "sharded runs are batch-only: open-system (streaming-admission) "
+        "scenarios cannot be partitioned");
+  }
+  return session;
+}
+
+EngineCallbacks RunSession::MakeCallbacks(std::uint32_t shard) {
+  while (estimators_.size() <= shard) {
+    estimators_.push_back(std::make_unique<ParamEstimator>());
+    naive_.push_back(std::make_unique<MinAvgTimeSelector>());
+  }
+  ParamEstimator* est = estimators_[shard].get();
+  est->SetDecayWindow(spec_.policy.estimator_window);
+  EngineCallbacks callbacks = EstimatorCallbacks(est);
+  if (spec_.policy.kind == ScenarioPolicy::Kind::kMinAvgTime) {
+    MinAvgTimeSelector* n = naive_[shard].get();
+    auto inner = callbacks.on_commit;
+    callbacks.on_commit = [n, inner](const TxnResult& r) {
+      n->OnCommit(r);
+      if (inner) inner(r);
+    };
+  }
+  return callbacks;
+}
+
+void RunSession::InstallPolicy(std::uint32_t shard, Engine& engine) {
+  ProtocolPolicy base;
+  switch (spec_.policy.kind) {
+    case ScenarioPolicy::Kind::kFixed:
+      base = FixedProtocol(spec_.policy.fixed);
+      break;
+    case ScenarioPolicy::Kind::kMix:
+      // Per-shard policy rng keyed off the shard engine's (mixed) seed, so
+      // shard 0 replays the classic engine's draw stream exactly.
+      base = MixedProtocol(spec_.policy.weights[0], spec_.policy.weights[1],
+                           spec_.policy.weights[2],
+                           Rng(engine.options().seed ^ 77));
+      break;
+    case ScenarioPolicy::Kind::kMinStl:
+      if (selectors_.size() <= shard) selectors_.resize(shard + 1);
+      selectors_[shard] = std::make_unique<MinStlSelector>(
+          &engine.simulator(), estimators_[shard].get(),
+          static_cast<std::size_t>(spec_.engine.num_items) *
+              spec_.engine.replication);
+      base = selectors_[shard]->AsPolicy();
+      break;
+    case ScenarioPolicy::Kind::kMinAvgTime:
+      base = naive_[shard]->AsPolicy();
+      break;
+    case ScenarioPolicy::Kind::kTrace:
+      base = nullptr;  // spec protocols used verbatim
+      break;
+  }
+  engine.SetProtocolPolicy(ForcedAwarePolicy(std::move(base), forced_));
+}
+
+RunReport RunSession::Run() {
+  UNICC_CHECK_MSG(!ran_, "RunSession::Run may only be called once");
+  ran_ = true;
+
+  // Resolve the workload (and its forced-protocol set) before any engine
+  // exists; workload generation draws from its own rng streams.
+  const std::vector<WorkloadGenerator::Arrival>* arrivals = request_.arrivals;
+  ScenarioSpec::Workload built;
+  std::unique_ptr<ArrivalStream> stream;
+  if (arrivals != nullptr) {
+    forced_ = request_.forced;
+  } else if (spec_.IsOpenSystem()) {
+    ScenarioSpec::OpenWorkload ow = spec_.Open();
+    stream = std::move(ow.stream);
+    forced_ = ow.forced;
+  } else {
+    built = spec_.BuildWorkload();
+    arrivals = &built.arrivals;
+    forced_ = built.forced;
+  }
+
+  if (sharded_) {
+    UNICC_CHECK(stream == nullptr);  // enforced by Create
+    sharded_engine_ = std::make_unique<ShardedEngine>(
+        spec_.engine, [this](std::uint32_t s) { return MakeCallbacks(s); });
+    for (std::uint32_t s = 0; s < shards_; ++s) {
+      InstallPolicy(s, sharded_engine_->shard(s));
+    }
+    UNICC_CHECK(sharded_engine_->AddWorkload(*arrivals).ok());
+    const RunSummary summary = sharded_engine_->Run();
+    RunReport report;
+    report.summary = summary;
+    report.stats = ExtractStats(*sharded_engine_, summary);
+    report.events_run = sharded_engine_->TotalEventsRun();
+    report.shards = shards_;
+    return report;
+  }
+
+  EngineBuilder builder(spec_.engine);
+  builder.WithCallbacks(MakeCallbacks(0));
+  if (stream != nullptr) builder.WithArrivalStream(std::move(stream));
+  auto engine = builder.Build();
+  UNICC_CHECK_MSG(engine.ok(), "engine build failed after validation");
+  engine_ = std::move(engine).value();
+  InstallPolicy(0, *engine_);
+  if (arrivals != nullptr) {
+    UNICC_CHECK(engine_->AddWorkload(*arrivals).ok());
+  }
+  const RunSummary summary = engine_->Run();
+  RunReport report;
+  report.summary = summary;
+  report.stats = ExtractStats(*engine_, summary);
+  report.events_run = engine_->simulator().EventsRun();
+  report.shards = 1;
+  return report;
+}
+
+const RunMetrics& RunSession::metrics() const {
+  return sharded_ ? sharded_engine_->metrics() : engine_->metrics();
+}
+
+const TimelineRecorder* RunSession::timeline() const {
+  return sharded_ ? sharded_engine_->timeline() : engine_->timeline();
+}
+
+const ParamEstimator& RunSession::estimator(std::uint32_t shard) const {
+  UNICC_CHECK(shard < estimators_.size());
+  return *estimators_[shard];
+}
+
+}  // namespace unicc::runner

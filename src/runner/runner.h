@@ -1,0 +1,149 @@
+// The run-entrypoint library: one compiled implementation of "take a
+// scenario, assemble the policy stack and engine, run it, extract row
+// data", shared by the benches, the golden tests, unicc_sim, sweep_runner
+// and perf_gate (each used to carry its own inline copy).
+//
+//   RunRequest  — scenario + overrides (seed, shard count, timeline
+//                 window) + optional workload replay
+//   RunSession  — validated, ready-to-run assembly (Status errors instead
+//                 of aborts)
+//   RunReport   — summary + extracted row stats
+//
+// With shards > 1 (or force_sharded) the session drives a ShardedEngine;
+// otherwise the classic single-threaded Engine.
+#ifndef UNICC_RUNNER_RUNNER_H_
+#define UNICC_RUNNER_RUNNER_H_
+
+#include <cstdint>
+#include <memory>
+#include <optional>
+#include <unordered_set>
+#include <vector>
+
+#include "common/status.h"
+#include "engine/engine.h"
+#include "engine/sharded_engine.h"
+#include "scenario/scenario.h"
+#include "selector/selector.h"
+#include "stl/estimators.h"
+#include "workload/generator.h"
+
+namespace unicc::runner {
+
+// Row data extracted from a completed run (the experiment tables' columns).
+struct RunStats {
+  double mean_s_ms = 0;  // mean transaction system time S
+  double p95_s_ms = 0;
+  std::uint64_t admitted = 0;
+  std::uint64_t committed = 0;
+  SimTime makespan = 0;
+  std::uint64_t total_messages = 0;
+  std::uint64_t log_records = 0;
+  bool replicas_consistent = false;
+  std::uint64_t deadlock_victims = 0;
+  std::uint64_t reject_restarts = 0;
+  std::uint64_t backoff_rounds = 0;
+  double msgs_per_txn = 0;     // remote messages per committed transaction
+  double cc_msgs_per_txn = 0;  // concurrency-control messages only
+                               // (excludes deadlock-detector traffic)
+  double throughput = 0;       // committed per simulated second
+  bool serializable = false;
+  // Per-protocol mean S (only meaningful for mixed runs).
+  double mean_s_ms_by_proto[kNumProtocols] = {0, 0, 0};
+  std::uint64_t committed_by_proto[kNumProtocols] = {0, 0, 0};
+};
+
+// What to run and how. The pointed-to spec and arrivals must outlive the
+// session (they are read during Create and Run).
+struct RunRequest {
+  const ScenarioSpec* spec = nullptr;
+
+  // Overrides applied on top of the spec before anything is built.
+  std::optional<std::uint64_t> seed;
+  std::optional<std::uint32_t> shards;
+  std::optional<Duration> metrics_window;  // timeline window; 0 disables
+
+  // Workload replay: run these arrivals instead of spec->BuildWorkload()
+  // (the golden suite's record -> replay path). `forced` carries the
+  // matching forced-protocol set.
+  const std::vector<WorkloadGenerator::Arrival>* arrivals = nullptr;
+  std::shared_ptr<const std::unordered_set<TxnId>> forced;
+
+  // Test knob: drive shards = 1 through the sharded window coordinator
+  // instead of the classic engine (must match it byte-for-byte).
+  bool force_sharded = false;
+};
+
+struct RunReport {
+  RunStats stats;
+  RunSummary summary;
+  std::uint64_t events_run = 0;
+  std::uint32_t shards = 1;
+};
+
+class RunSession {
+ public:
+  // Validates the request (engine options, shard/site partition, open-
+  // system restrictions) and returns a ready session or the first error.
+  static StatusOr<std::unique_ptr<RunSession>> Create(RunRequest request);
+
+  ~RunSession();
+  RunSession(const RunSession&) = delete;
+  RunSession& operator=(const RunSession&) = delete;
+
+  // Runs to completion. Call once.
+  RunReport Run();
+
+  // --- post-run inspection --------------------------------------------
+  const RunMetrics& metrics() const;
+  const TimelineRecorder* timeline() const;
+  // The STL parameter estimator of one shard (shard 0 == the classic
+  // engine's estimator when unsharded).
+  const ParamEstimator& estimator(std::uint32_t shard = 0) const;
+  std::uint32_t shards() const { return shards_; }
+  const ScenarioSpec& spec() const { return spec_; }
+  // Escape hatches for detailed tooling output; exactly one is non-null
+  // after Run() (classic vs sharded path).
+  Engine* engine() { return engine_.get(); }
+  ShardedEngine* sharded() { return sharded_engine_.get(); }
+
+ private:
+  explicit RunSession(RunRequest request);
+  EngineCallbacks MakeCallbacks(std::uint32_t shard);
+  void InstallPolicy(std::uint32_t shard, Engine& engine);
+
+  RunRequest request_;
+  ScenarioSpec spec_;  // the request's spec with overrides applied
+  std::uint32_t shards_ = 1;
+  bool sharded_ = false;
+  bool ran_ = false;
+
+  // Per-shard policy stacks (index 0 is the classic engine's when
+  // unsharded).
+  std::vector<std::unique_ptr<ParamEstimator>> estimators_;
+  std::vector<std::unique_ptr<MinAvgTimeSelector>> naive_;
+  std::vector<std::unique_ptr<MinStlSelector>> selectors_;
+  std::shared_ptr<const std::unordered_set<TxnId>> forced_;
+
+  std::unique_ptr<Engine> engine_;          // classic path
+  std::unique_ptr<ShardedEngine> sharded_engine_;  // sharded path
+};
+
+// Subscribes `est` to every estimator-relevant engine hook.
+EngineCallbacks EstimatorCallbacks(ParamEstimator* est);
+
+// Extracts the row data from a completed run.
+RunStats ExtractStats(Engine& engine, const RunSummary& summary);
+RunStats ExtractStats(ShardedEngine& engine, const RunSummary& summary);
+
+// Thread-count negotiation between an outer worker pool (sweep_runner's
+// --jobs) and the sharded engine: the product of jobs and shards must not
+// oversubscribe the machine. Returns the number of outer jobs to actually
+// use, always at least 1.
+std::uint32_t NegotiateJobs(std::uint32_t requested_jobs,
+                            std::uint32_t shards,
+                            std::uint32_t hardware_threads);
+
+}  // namespace unicc::runner
+
+#endif  // UNICC_RUNNER_RUNNER_H_

@@ -415,6 +415,9 @@ Status ParseRunSection(const IniSection& sec, EngineOptions* eo) {
       if (Status s = ParseMs(e, &eo->metrics_window); !s.ok()) return s;
     } else if (e.key == "keep_results") {
       if (Status s = ParseBool(e, &eo->keep_results); !s.ok()) return s;
+    } else if (e.key == "shards") {
+      if (Status s = ParseUint(e, &u); !s.ok()) return s;
+      eo->shards = static_cast<std::uint32_t>(u);
     } else {
       return Status::InvalidArgument(Where(e) + "unknown [run] key '" +
                                      e.key + "'");
@@ -556,6 +559,12 @@ Status CrossValidate(const ScenarioSpec& spec) {
     }
   }
   if (Status s = ValidateTimeline(spec); !s.ok()) return s;
+  if (spec.engine.shards > 1 && spec.IsOpenSystem()) {
+    return Status::InvalidArgument(
+        "[run] shards > 1 is batch-only: open-system run controls "
+        "(horizon_ms / commit_target / max_inflight) need a global "
+        "admission gate");
+  }
   return spec.engine.Validate();
 }
 

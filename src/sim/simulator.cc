@@ -168,6 +168,18 @@ std::uint64_t Simulator::RunUntil(SimTime until) {
   return n;
 }
 
+SimTime Simulator::NextEventTime() const {
+  if (!near_.empty()) return near_.front().When();
+  if (far_.empty()) return kNoPending;
+  // The far pool is unsorted; a window boundary only needs the minimum, and
+  // hitting this path at all means the near band drained, which is rare.
+  SimTime best = far_.front().When();
+  for (std::size_t i = 1; i < far_.size(); ++i) {
+    best = std::min(best, far_[i].When());
+  }
+  return best;
+}
+
 std::uint64_t Simulator::RunToCompletion(std::uint64_t max_events) {
   std::uint64_t n = 0;
   while (Step(std::numeric_limits<SimTime>::max())) {

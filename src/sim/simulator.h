@@ -82,6 +82,17 @@ class Simulator {
   // Number of live (non-cancelled) events currently pending.
   std::size_t PendingEvents() const { return live_; }
 
+  // Returned by NextEventTime() when no event (live or placeholder) is
+  // queued.
+  static constexpr SimTime kNoPending = ~static_cast<SimTime>(0);
+
+  // Earliest queued event time, or kNoPending when the queue is empty.
+  // Cancelled placeholders count: the result is a conservative lower bound
+  // on the next live event, which is what conservative window scheduling
+  // needs (RunUntil frees placeholders at the top, so progress is still
+  // guaranteed).
+  SimTime NextEventTime() const;
+
   // Total events executed so far (cancelled events never count).
   std::uint64_t EventsRun() const { return events_run_; }
 

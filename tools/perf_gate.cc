@@ -17,6 +17,9 @@
 //   stream_admission   the same scenario pulled through the open-system
 //                      arrival stream under an MPL cap (lazy admission
 //                      gate + deferral path)
+//   sharded_run        the partitioned macro scenario on the 4-shard
+//                      parallel window engine (its own exact digest,
+//                      sharded_digest, guards result determinism)
 //
 // Wall-clock rates are machine-dependent, so the gate uses a tolerance
 // band (default: fail below 0.5x baseline) — wide enough for runner
@@ -190,7 +193,8 @@ std::uint64_t DigestStats(const bench::RunStats& s) {
 // machine-independent.
 KernelResult KernelScenarioRun(const char* name, bool stream,
                                const std::string& path, std::uint64_t txns,
-                               std::uint64_t* digest, bool* ok) {
+                               std::uint64_t* digest, bool* ok,
+                               int shards = -1) {
   KernelResult r;
   r.name = name;
   r.items = "txns";
@@ -204,6 +208,7 @@ KernelResult KernelScenarioRun(const char* name, bool stream,
   IniFile scaled = *ini;
   scaled.Set("class main", "txns", std::to_string(txns));
   if (stream) scaled.Set("run", "max_inflight", "64");
+  if (shards >= 0) scaled.Set("run", "shards", std::to_string(shards));
   auto spec = ScenarioSpec::FromIni(scaled);
   if (!spec.ok()) {
     std::fprintf(stderr, "perf_gate: %s: %s\n", path.c_str(),
@@ -235,7 +240,8 @@ KernelResult KernelScenarioRun(const char* name, bool stream,
 void WriteReport(const std::string& path,
                  const std::vector<KernelResult>& kernels,
                  std::uint64_t digest, std::uint64_t stream_digest,
-                 const std::string& scenario) {
+                 std::uint64_t sharded_digest, const std::string& scenario,
+                 const std::string& sharded_scenario) {
   std::FILE* f = std::fopen(path.c_str(), "w");
   if (f == nullptr) {
     std::fprintf(stderr, "perf_gate: cannot open %s\n", path.c_str());
@@ -245,11 +251,15 @@ void WriteReport(const std::string& path,
                "{\n  \"suite\": \"core\",\n"
                "  \"generated_by\": \"perf_gate\",\n"
                "  \"scenario\": \"%s\",\n"
+               "  \"sharded_scenario\": \"%s\",\n"
                "  \"scenario_digest\": \"%016llx\",\n"
                "  \"stream_digest\": \"%016llx\",\n"
+               "  \"sharded_digest\": \"%016llx\",\n"
                "  \"kernels\": [\n",
-               scenario.c_str(), static_cast<unsigned long long>(digest),
-               static_cast<unsigned long long>(stream_digest));
+               scenario.c_str(), sharded_scenario.c_str(),
+               static_cast<unsigned long long>(digest),
+               static_cast<unsigned long long>(stream_digest),
+               static_cast<unsigned long long>(sharded_digest));
   for (std::size_t i = 0; i < kernels.size(); ++i) {
     std::fprintf(f,
                  "    {\"name\": \"%s\", \"items\": \"%s\", "
@@ -272,6 +282,8 @@ struct Baseline {
   bool has_digest = false;
   std::uint64_t stream_digest = 0;
   bool has_stream_digest = false;
+  std::uint64_t sharded_digest = 0;
+  bool has_sharded_digest = false;
 };
 
 bool LoadBaseline(const std::string& path, Baseline* out) {
@@ -293,6 +305,12 @@ bool LoadBaseline(const std::string& path, Baseline* out) {
     out->stream_digest =
         std::strtoull(text.c_str() + p + skey.size(), nullptr, 16);
     out->has_stream_digest = true;
+  }
+  const std::string hkey = "\"sharded_digest\": \"";
+  if (std::size_t p = text.find(hkey); p != std::string::npos) {
+    out->sharded_digest =
+        std::strtoull(text.c_str() + p + hkey.size(), nullptr, 16);
+    out->has_sharded_digest = true;
   }
   const std::string nkey = "\"name\": \"";
   const std::string vkey = "\"items_per_sec\": ";
@@ -323,8 +341,16 @@ void PrintHelp() {
       "(default 0.5)\n"
       "  --scenario=<file>   scenario for the end-to-end kernel\n"
       "                      (default scenarios/quickstart.ini)\n"
+      "  --sharded-scenario=<file>  partitioned scenario for the\n"
+      "                      sharded_run kernel\n"
+      "                      (default scenarios/macro_partitioned.ini)\n"
       "  --txns=<n>          scaled-up transaction count for the scenario\n"
-      "                      kernel (default 20000)");
+      "                      kernel (default 20000)\n"
+      "  --sharded-txns=<n>  transaction count for the sharded kernel\n"
+      "                      (default 8000)\n"
+      "  --shard-curve       also run the sharded scenario at 1/2/4/8\n"
+      "                      shards and print the wall-clock scaling curve\n"
+      "                      (not gated; see docs/performance.md)");
 }
 
 bool ParseFlag(const char* arg, const char* name, std::string* out) {
@@ -342,24 +368,32 @@ int main(int argc, char** argv) {
   std::string out_path;
   std::string baseline_path;
   std::string scenario_path = "scenarios/quickstart.ini";
+  std::string sharded_path = "scenarios/macro_partitioned.ini";
   double tolerance = 0.5;
   double min_time = 0.5;
   std::uint64_t txns = 20000;
+  std::uint64_t sharded_txns = 8000;
+  bool shard_curve = false;
   for (int i = 1; i < argc; ++i) {
     std::string v;
     const char* a = argv[i];
     if (std::strcmp(a, "--help") == 0) {
       PrintHelp();
       return 0;
+    } else if (std::strcmp(a, "--shard-curve") == 0) {
+      shard_curve = true;
     } else if (ParseFlag(a, "--out", &out_path) ||
                ParseFlag(a, "--baseline", &baseline_path) ||
-               ParseFlag(a, "--scenario", &scenario_path)) {
+               ParseFlag(a, "--scenario", &scenario_path) ||
+               ParseFlag(a, "--sharded-scenario", &sharded_path)) {
     } else if (ParseFlag(a, "--tolerance", &v)) {
       tolerance = std::strtod(v.c_str(), nullptr);
     } else if (ParseFlag(a, "--min-time", &v)) {
       min_time = std::strtod(v.c_str(), nullptr);
     } else if (ParseFlag(a, "--txns", &v)) {
       txns = std::strtoull(v.c_str(), nullptr, 10);
+    } else if (ParseFlag(a, "--sharded-txns", &v)) {
+      sharded_txns = std::strtoull(v.c_str(), nullptr, 10);
     } else {
       std::fprintf(stderr, "unknown flag '%s' (try --help)\n", a);
       return 2;
@@ -379,6 +413,10 @@ int main(int argc, char** argv) {
   kernels.push_back(KernelScenarioRun("stream_admission", /*stream=*/true,
                                       scenario_path, txns, &stream_digest,
                                       &ok));
+  std::uint64_t sharded_digest = 0;
+  kernels.push_back(KernelScenarioRun("sharded_run", /*stream=*/false,
+                                      sharded_path, sharded_txns,
+                                      &sharded_digest, &ok));
 
   std::printf("%-18s %14s  %s\n", "kernel", "items/sec", "unit");
   for (const KernelResult& k : kernels) {
@@ -389,6 +427,34 @@ int main(int argc, char** argv) {
               static_cast<unsigned long long>(digest));
   std::printf("stream_digest      %016llx\n",
               static_cast<unsigned long long>(stream_digest));
+  std::printf("sharded_digest     %016llx\n",
+              static_cast<unsigned long long>(sharded_digest));
+
+  // The 1/2/4/8-shard scaling curve on the partitioned macro scenario.
+  // Informational, never gated: wall-clock speedup depends on the number
+  // of physical cores (see docs/performance.md), while the gated
+  // sharded_digest above is machine-independent.
+  if (shard_curve) {
+    std::printf("\n%-10s %14s %14s  %s\n", "shards", "txns/sec", "speedup",
+                "digest");
+    double base_rate = 0;
+    for (int s : {1, 2, 4, 8}) {
+      std::uint64_t d = 0;
+      bool curve_ok = true;
+      const KernelResult k = KernelScenarioRun(
+          "shard_curve", /*stream=*/false, sharded_path, sharded_txns, &d,
+          &curve_ok, s);
+      if (!curve_ok) {
+        std::printf("%-10d %14s\n", s, "(failed)");
+        continue;
+      }
+      if (s == 1) base_rate = k.items_per_sec;
+      std::printf("%-10d %14.0f %13.2fx  %016llx\n", s, k.items_per_sec,
+                  base_rate > 0 ? k.items_per_sec / base_rate : 0,
+                  static_cast<unsigned long long>(d));
+    }
+  }
+
   if (!arena_stable) {
     std::fprintf(stderr,
                  "perf_gate: FAIL event arena grew under constant load "
@@ -435,12 +501,22 @@ int main(int argc, char** argv) {
                    static_cast<unsigned long long>(stream_digest));
       ok = false;
     }
+    if (base.has_sharded_digest && base.sharded_digest != sharded_digest) {
+      std::fprintf(stderr,
+                   "perf_gate: FAIL sharded digest changed "
+                   "(%016llx -> %016llx): sharded-engine results differ "
+                   "from the baseline build\n",
+                   static_cast<unsigned long long>(base.sharded_digest),
+                   static_cast<unsigned long long>(sharded_digest));
+      ok = false;
+    }
   }
 
   // Written even when the gate fails: CI uploads the measured numbers as
   // an artifact precisely so a failing run can be diagnosed.
   if (!out_path.empty()) {
-    WriteReport(out_path, kernels, digest, stream_digest, scenario_path);
+    WriteReport(out_path, kernels, digest, stream_digest, sharded_digest,
+                scenario_path, sharded_path);
   }
   return ok ? 0 : 1;
 }

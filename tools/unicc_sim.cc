@@ -20,9 +20,9 @@
 #include <vector>
 
 #include "engine/engine.h"
+#include "runner/runner.h"
 #include "scenario/ini.h"
 #include "scenario/scenario.h"
-#include "selector/selector.h"
 #include "stl/estimators.h"
 #include "workload/generator.h"
 #include "workload/trace.h"
@@ -62,6 +62,7 @@ struct Flags {
   std::string timeline_csv;   // --timeline-csv=FILE
   std::string timeline_json;  // --timeline-json=FILE
   double window_ms = -1;      // --window-ms; <0 keeps the scenario's
+  std::uint32_t shards = 0;   // --shards; 0 keeps the scenario's
 };
 
 void PrintHelp() {
@@ -108,6 +109,11 @@ void PrintHelp() {
       "  --window-ms=<f>     timeline window length; overrides the\n"
       "                      scenario's [run] window_ms (default 1000 when\n"
       "                      a timeline export is requested without one)\n"
+      "  --shards=<n>        partition sites across n shards and run them\n"
+      "                      on parallel worker threads (batch scenarios\n"
+      "                      only); overrides the scenario's [run] shards.\n"
+      "                      Deterministic for a fixed n; n=1 reproduces\n"
+      "                      the single-threaded run exactly\n"
       "  --verbose           print per-protocol metrics and STL estimates");
 }
 
@@ -174,6 +180,8 @@ int main(int argc, char** argv) {
       flags.sets.push_back(v);
     } else if (ParseFlag(a, "--window-ms", &v)) {
       flags.window_ms = std::atof(v.c_str());
+    } else if (ParseFlag(a, "--shards", &v)) {
+      flags.shards = static_cast<std::uint32_t>(std::atoi(v.c_str()));
     } else if (ParseFlag(a, "--lambda", &v)) {
       flags.lambda = std::atof(v.c_str());
     } else if (ParseFlag(a, "--txns", &v)) {
@@ -312,15 +320,12 @@ int main(int argc, char** argv) {
   // flag-configured generator.
   std::vector<WorkloadGenerator::Arrival> arrivals;
   std::shared_ptr<std::unordered_set<TxnId>> forced;
-  std::unique_ptr<ArrivalStream> stream;
   const bool open_run =
       from_scenario && scenario.IsOpenSystem() && flags.replay_trace.empty();
   if (open_run) {
-    ScenarioSpec::OpenWorkload ow = scenario.Open();
-    stream = std::move(ow.stream);
-    forced = std::move(ow.forced);
-    // Recording / CSV export describe the workload definition, which the
-    // run controls may only partially admit; materialize them separately.
+    // The session streams the workload itself. Recording / CSV export
+    // describe the workload definition, which the run controls may only
+    // partially admit; materialize them separately.
     if (!flags.record_trace.empty() || !flags.export_csv.empty()) {
       arrivals = scenario.BuildWorkload().arrivals;
     }
@@ -383,84 +388,51 @@ int main(int argc, char** argv) {
                 flags.export_csv.c_str());
   }
 
-  ParamEstimator estimator;
-  estimator.SetDecayWindow(policy.estimator_window);
-  auto minavg = std::make_unique<MinAvgTimeSelector>();
-  EngineCallbacks cb;
-  cb.on_commit = [&estimator, naive = minavg.get()](const TxnResult& r) {
-    estimator.OnCommit(r);
-    naive->OnCommit(r);
-  };
-  cb.on_request_sent = [&](Protocol p, OpType op) {
-    estimator.OnRequestSent(p, op);
-  };
-  cb.on_lock_hold = [&](Protocol p, Duration d, bool a) {
-    estimator.OnLockHold(p, d, a);
-  };
-  cb.on_restart = [&](Protocol p, TxnOutcome w) {
-    estimator.OnRestart(p, w);
-  };
-  cb.on_grant = [&](const CopyId&, OpType op, Protocol) {
-    estimator.OnGrant(op);
-  };
-  cb.on_reject = [&](OpType op, Protocol p) { estimator.OnReject(op, p); };
-  cb.on_backoff_offer = [&](OpType op) { estimator.OnBackoffOffer(op); };
+  // Assemble and run through the runner facade (classic engine, or the
+  // sharded window coordinator when shards > 1).
+  ScenarioSpec run_spec = std::move(scenario);
+  run_spec.engine = eo;
+  run_spec.policy = policy;
+  if (flags.shards != 0) run_spec.engine.shards = flags.shards;
 
-  Engine engine(eo, cb);
-  std::unique_ptr<MinStlSelector> minstl;
-  ProtocolPolicy base;
-  switch (policy.kind) {
-    case ScenarioPolicy::Kind::kFixed:
-      base = FixedProtocol(policy.fixed);
-      break;
-    case ScenarioPolicy::Kind::kMix:
-      base = MixedProtocol(policy.weights[0], policy.weights[1],
-                           policy.weights[2], Rng(eo.seed ^ 77));
-      break;
-    case ScenarioPolicy::Kind::kMinStl:
-      minstl = std::make_unique<MinStlSelector>(
-          &engine.simulator(), &estimator,
-          static_cast<std::size_t>(eo.num_items) * eo.replication);
-      base = minstl->AsPolicy();
-      break;
-    case ScenarioPolicy::Kind::kMinAvgTime:
-      base = minavg->AsPolicy();
-      break;
-    case ScenarioPolicy::Kind::kTrace:
-      base = nullptr;  // keep each spec's recorded protocol
-      break;
+  runner::RunRequest request;
+  request.spec = &run_spec;
+  if (!open_run) {
+    // The workload was already materialized above (replay, recording or
+    // batch build); hand it to the session verbatim.
+    request.arrivals = &arrivals;
+    request.forced = forced;
   }
-  if (forced != nullptr && !forced->empty()) {
-    engine.SetProtocolPolicy(ForcedAwarePolicy(std::move(base), forced));
-  } else if (base) {
-    engine.SetProtocolPolicy(std::move(base));
-  }
-
-  if (open_run) {
-    engine.SetArrivalStream(std::move(stream));
-  } else if (auto s = engine.AddWorkload(arrivals); !s.ok()) {
-    std::fprintf(stderr, "workload rejected: %s\n", s.ToString().c_str());
+  auto session_or = runner::RunSession::Create(std::move(request));
+  if (!session_or.ok()) {
+    std::fprintf(stderr, "invalid configuration: %s\n",
+                 session_or.status().ToString().c_str());
     return 2;
   }
+  std::unique_ptr<runner::RunSession> session = std::move(session_or).value();
 
-  if (from_scenario && !scenario.name.empty()) {
-    std::printf("scenario           : %s%s%s\n", scenario.name.c_str(),
-                scenario.description.empty() ? "" : " — ",
-                scenario.description.c_str());
+  if (from_scenario && !run_spec.name.empty()) {
+    std::printf("scenario           : %s%s%s\n", run_spec.name.c_str(),
+                run_spec.description.empty() ? "" : " — ",
+                run_spec.description.c_str());
+  }
+  if (session->shards() > 1) {
+    std::printf("shards             : %u\n", session->shards());
   }
 
-  const RunSummary summary = engine.Run();
-  const auto report = engine.CheckSerializability();
+  const runner::RunReport run_report = session->Run();
+  const RunSummary& summary = run_report.summary;
+  const runner::RunStats& stats = run_report.stats;
 
   std::printf("committed          : %llu/%llu\n",
               static_cast<unsigned long long>(summary.committed),
               static_cast<unsigned long long>(summary.admitted));
   std::printf("mean system time   : %.2f ms (p95 %.2f, max %.2f)\n",
-              engine.metrics().MeanSystemTimeMs(),
-              engine.metrics().SystemTime().PercentileMs(95),
-              engine.metrics().SystemTime().MaxMs());
+              session->metrics().MeanSystemTimeMs(),
+              session->metrics().SystemTime().PercentileMs(95),
+              session->metrics().SystemTime().MaxMs());
   std::printf("throughput         : %.1f tx/s over %.2f s simulated\n",
-              engine.metrics().ThroughputPerSec(summary.makespan),
+              session->metrics().ThroughputPerSec(summary.makespan),
               static_cast<double>(summary.makespan) / kSecond);
   std::printf("deadlock victims   : %llu\n",
               static_cast<unsigned long long>(summary.deadlock_victims));
@@ -472,11 +444,11 @@ int main(int argc, char** argv) {
               static_cast<unsigned long long>(summary.total_messages),
               static_cast<unsigned long long>(summary.remote_messages));
   std::printf("serializable       : %s\n",
-              report.serializable ? "yes" : "NO");
+              stats.serializable ? "yes" : "NO");
   std::printf("replicas consistent: %s\n",
-              engine.ReplicasConsistent() ? "yes" : "NO");
+              stats.replicas_consistent ? "yes" : "NO");
 
-  if (const TimelineRecorder* tl = engine.timeline(); tl != nullptr) {
+  if (const TimelineRecorder* tl = session->timeline(); tl != nullptr) {
     if (!flags.timeline_csv.empty()) {
       if (!WriteTextFile(flags.timeline_csv, tl->ExportCsv(),
                          "timeline-csv")) {
@@ -504,19 +476,24 @@ int main(int argc, char** argv) {
     for (Protocol p :
          {Protocol::kTwoPhaseLocking, Protocol::kTimestampOrdering,
           Protocol::kPrecedenceAgreement}) {
-      const auto& ps = engine.metrics().ForProtocol(p);
+      const auto& ps = session->metrics().ForProtocol(p);
       std::printf("  %-4s committed %llu, mean S %.2f ms, restarts %llu\n",
                   std::string(ProtocolName(p)).c_str(),
                   static_cast<unsigned long long>(ps.committed),
                   ps.system_time.MeanMs(),
                   static_cast<unsigned long long>(ps.restarts));
     }
+    // Sharded runs report shard 0's estimator at makespan (there is no
+    // single simulator clock to snapshot at).
+    const SimTime now = session->engine() != nullptr
+                            ? session->engine()->simulator().Now()
+                            : summary.makespan;
     const SystemParams sys =
-        estimator.Snapshot(engine.simulator().Now(), eo.num_items);
+        session->estimator(0).Snapshot(now, run_spec.engine.num_items);
     std::printf(
         "\nmeasured system parameters: lambda_A=%.1f/s lambda_r=%.3f "
         "lambda_w=%.3f Q_r=%.2f K=%.1f\n",
         sys.lambda_a, sys.lambda_r, sys.lambda_w, sys.q_r, sys.k_avg);
   }
-  return report.serializable ? 0 : 1;
+  return stats.serializable ? 0 : 1;
 }
