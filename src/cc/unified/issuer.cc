@@ -85,6 +85,15 @@ void RequestIssuer::StartAttempt(ActiveTxn& t) {
       events_.on_request_sent(t.spec.protocol, r.op);
     }
   }
+  if (options_.request_timeout > 0) {
+    const TxnId id = t.spec.id;
+    const Attempt attempt = t.attempt;
+    ctx_.sim->Schedule(options_.request_timeout, [this, id, attempt]() {
+      ActiveTxn* t = FindActive(id, attempt);
+      if (t == nullptr || t->executing) return;
+      AbortAndRestart(*t, TxnOutcome::kRestartedByTimeout);
+    });
+  }
 }
 
 RequestIssuer::ActiveTxn* RequestIssuer::FindActive(TxnId txn,
@@ -377,16 +386,23 @@ void RequestIssuer::FinishLingering(TxnId txn, Lingering& lg) {
   }
 }
 
-void RequestIssuer::AbortAndRestart(ActiveTxn& t, TxnOutcome why) {
+void RequestIssuer::AbortAndRestart(ActiveTxn& t, TxnOutcome why,
+                                    SimTime not_before) {
   ReportLockHolds(t, /*aborted=*/true);
   for (const PhysReq& r : t.reqs) {
     ctx_.transport->Send(site_, r.copy.site,
                          msg::AbortTxn{t.spec.id, t.attempt, r.copy});
   }
-  if (why == TxnOutcome::kRestartedByReject) {
-    ++reject_restarts_;
-  } else {
-    ++deadlock_restarts_;
+  switch (why) {
+    case TxnOutcome::kRestartedByReject:
+      ++reject_restarts_;
+      break;
+    case TxnOutcome::kRestartedByTimeout:
+      ++timeout_restarts_;
+      break;
+    default:
+      ++deadlock_restarts_;
+      break;
   }
   if (events_.on_restart) events_.on_restart(t.spec.protocol, why);
   ++t.attempt;  // stale messages of the old incarnation are now dropped
@@ -398,11 +414,30 @@ void RequestIssuer::AbortAndRestart(ActiveTxn& t, TxnOutcome why) {
   const Attempt attempt = t.attempt;
   const Duration delay = static_cast<Duration>(
       rng_.Exponential(static_cast<double>(options_.restart_delay_mean)));
-  ctx_.sim->Schedule(delay, [this, id, attempt]() {
+  SimTime start = ctx_.sim->Now() + delay;
+  if (start < not_before) start = not_before;
+  ctx_.sim->ScheduleAt(start, [this, id, attempt]() {
     auto it = active_.find(id);
     if (it == active_.end() || it->second.attempt != attempt) return;
     StartAttempt(it->second);
   });
+}
+
+void RequestIssuer::OnCrash(SimTime recover_at) {
+  // Canonical (id-sorted) order so the abort/restart message sequence is
+  // independent of hash-map iteration order.
+  std::vector<TxnId> hit;
+  for (const auto& [id, t] : active_) {
+    if (t.executing) continue;     // fully granted; let it finish
+    if (t.reqs.empty()) continue;  // restart already pending
+    hit.push_back(id);
+  }
+  std::sort(hit.begin(), hit.end());
+  for (TxnId id : hit) {
+    auto it = active_.find(id);
+    if (it == active_.end()) continue;
+    AbortAndRestart(it->second, TxnOutcome::kRestartedByTimeout, recover_at);
+  }
 }
 
 bool RequestIssuer::IsActive(TxnId txn) const { return active_.contains(txn); }

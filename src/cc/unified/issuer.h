@@ -53,6 +53,12 @@ struct IssuerOptions {
   // When false, T/O commits never take the semi-lock path (used with pure
   // backends and with the lock-everything ablation).
   bool semi_locks = true;
+  // Liveness under an unreliable network: an incarnation that has not
+  // reached its compute phase within this window after sending its
+  // requests is aborted and restarted (the fresh CcRequests re-cover any
+  // lost message). 0 disables the timer entirely — no events scheduled —
+  // so lossless runs are byte-identical to builds without the feature.
+  Duration request_timeout = 0;
 };
 
 // Event hooks consumed by metrics and the STL parameter estimator.
@@ -87,6 +93,14 @@ class RequestIssuer : public Issuer {
   void OnReject(const msg::Reject& m) override;
   void OnVictim(const msg::Victim& m) override;
 
+  // The issuer's site crashed (fail-stop) and recovers at `recover_at`:
+  // every in-flight incarnation that is not yet executing aborts (its
+  // reliable AbortTxns free the queue slots) and restarts no earlier than
+  // recovery. Executing transactions hold every grant and are allowed to
+  // finish — completing a fully granted transaction cannot violate
+  // serializability.
+  void OnCrash(SimTime recover_at);
+
   bool IsActive(TxnId txn) const override;
   std::size_t ActiveCount() const override { return active_.size(); }
 
@@ -109,6 +123,7 @@ class RequestIssuer : public Issuer {
   std::uint64_t commits() const { return commits_; }
   std::uint64_t reject_restarts() const { return reject_restarts_; }
   std::uint64_t deadlock_restarts() const { return deadlock_restarts_; }
+  std::uint64_t timeout_restarts() const { return timeout_restarts_; }
   std::uint64_t backoff_rounds() const { return backoff_rounds_; }
   std::uint64_t semi_commits() const { return semi_commits_; }
 
@@ -168,7 +183,9 @@ class RequestIssuer : public Issuer {
   void CheckProgress(ActiveTxn& t);
   void Execute(ActiveTxn& t);
   void Commit(ActiveTxn& t);
-  void AbortAndRestart(ActiveTxn& t, TxnOutcome why);
+  // `not_before` floors the restart time (crash recovery); 0 restarts
+  // after the usual exponential delay.
+  void AbortAndRestart(ActiveTxn& t, TxnOutcome why, SimTime not_before = 0);
   void ReportLockHolds(const ActiveTxn& t, bool aborted);
   void FinishLingering(TxnId txn, Lingering& lg);
   // Returns a recycled ActiveTxn (vector capacities retained) when one is
@@ -194,6 +211,7 @@ class RequestIssuer : public Issuer {
   std::uint64_t commits_ = 0;
   std::uint64_t reject_restarts_ = 0;
   std::uint64_t deadlock_restarts_ = 0;
+  std::uint64_t timeout_restarts_ = 0;
   std::uint64_t backoff_rounds_ = 0;
   std::uint64_t semi_commits_ = 0;
 };

@@ -25,8 +25,17 @@ void CentralDeadlockDetector::Start() {
 
 void CentralDeadlockDetector::Tick() {
   if (stop_ != nullptr && *stop_) return;
+  if (replies_pending_ > 0 && options_.round_timeout > 0 &&
+      ctx_.sim->Now() - round_start_ >= options_.round_timeout) {
+    // Some reply was lost (or its site is down): abandon the round so a
+    // fresh snapshot can start. Stragglers of the old round carry a stale
+    // round tag and are ignored.
+    replies_pending_ = 0;
+    ++rounds_abandoned_;
+  }
   if (replies_pending_ == 0) {
     ++round_;
+    round_start_ = ctx_.sim->Now();
     collected_.clear();
     replies_pending_ = data_sites_.size();
     for (SiteId s : data_sites_) {

@@ -28,6 +28,11 @@ struct TxnDirectory {
 
 struct CentralDetectorOptions {
   Duration interval = 50 * kMillisecond;
+  // A round whose snapshot replies have not all arrived within this window
+  // is abandoned at the next tick and a fresh round starts (stale replies
+  // are already round-tagged and ignored). 0 waits forever — safe only on
+  // a lossless network, where every reply eventually arrives.
+  Duration round_timeout = 0;
 };
 
 class CentralDeadlockDetector {
@@ -49,6 +54,7 @@ class CentralDeadlockDetector {
 
   std::uint64_t victims_selected() const { return victims_selected_; }
   std::uint64_t rounds_completed() const { return rounds_completed_; }
+  std::uint64_t rounds_abandoned() const { return rounds_abandoned_; }
   std::uint64_t cycles_skipped() const { return cycles_skipped_; }
   std::uint64_t non_2pl_victims() const { return non_2pl_victims_; }
 
@@ -65,10 +71,12 @@ class CentralDeadlockDetector {
   const bool* stop_ = nullptr;
   std::uint64_t round_ = 0;
   std::size_t replies_pending_ = 0;
+  SimTime round_start_ = 0;
   std::vector<WaitEdge> collected_;
 
   std::uint64_t victims_selected_ = 0;
   std::uint64_t rounds_completed_ = 0;
+  std::uint64_t rounds_abandoned_ = 0;
   std::uint64_t cycles_skipped_ = 0;
   std::uint64_t non_2pl_victims_ = 0;
 };

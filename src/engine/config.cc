@@ -23,10 +23,26 @@ Status EngineOptions::Validate() const {
         "shards must not exceed min(user sites, data sites): every shard "
         "needs at least one site of each kind");
   }
-  if (shards > 1 && network.base_delay == 0) {
+  if (shards > 1 && fault.MinLinkDelay(network.base_delay) == 0) {
     return Status::InvalidArgument(
-        "sharded runs need base_delay > 0: the minimum inter-site delay is "
-        "the conservative lookahead bound");
+        "sharded runs need a minimum inter-site delay > 0 (base_delay, or "
+        "lan_ms with a topology): it is the conservative lookahead bound");
+  }
+  if (Status s = fault.Validate(num_user_sites + num_data_sites); !s.ok()) {
+    return s;
+  }
+  if ((fault.loss > 0 || !fault.crashes.empty()) && request_timeout == 0) {
+    return Status::InvalidArgument(
+        "message loss or site crashes need [engine] request_timeout_ms > 0: "
+        "a lost CcRequest (or one dropped at a crashed site) is only "
+        "recovered by the issuer timeout");
+  }
+  if (fault.loss > 0 && detector == DetectorKind::kCentral &&
+      central_detector.round_timeout == 0) {
+    return Status::InvalidArgument(
+        "message loss with the central detector needs [policy] "
+        "detector_timeout_ms > 0: a lost snapshot reply would stall "
+        "detection rounds forever");
   }
   if (backend == BackendKind::kPure &&
       pure_protocol == Protocol::kTimestampOrdering &&

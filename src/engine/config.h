@@ -14,6 +14,7 @@
 #include "common/types.h"
 #include "deadlock/central_detector.h"
 #include "deadlock/probe_detector.h"
+#include "net/fault_model.h"
 #include "net/transport.h"
 
 namespace unicc {
@@ -40,6 +41,17 @@ struct EngineOptions {
   std::uint32_t replication = 1;
 
   NetworkOptions network;
+
+  // Topology tiers, seeded message faults and site crash events; inactive
+  // (perfect constant-delay mesh) by default. See net/fault_model.h and
+  // the [topology] / [fault] scenario sections.
+  FaultOptions fault;
+
+  // Liveness under loss/crashes: a transaction whose current incarnation
+  // has not reached its compute phase within this window aborts its
+  // requests and restarts (fresh CcRequests re-cover any lost message).
+  // 0 disables. Required whenever messages can be lost.
+  Duration request_timeout = 0;
 
   BackendKind backend = BackendKind::kUnified;
   Protocol pure_protocol = Protocol::kTwoPhaseLocking;  // kPure only

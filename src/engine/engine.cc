@@ -9,6 +9,7 @@
 #include "cc/twopl/lock_manager.h"
 #include "cc/unified/queue_manager.h"
 #include "common/check.h"
+#include "net/flaky_transport.h"
 #include "net/sharded_transport.h"
 
 namespace unicc {
@@ -74,13 +75,29 @@ void Engine::BuildSites() {
   const std::uint32_t num_data = options_.num_data_sites;
   detector_site_ = num_user + num_data;
 
+  if (options_.fault.Active() || options_.fault.force_flaky) {
+    // ShardedEngine resolves the derived fault seed before shard seeds are
+    // mixed in; a classic engine resolves it here (shard 0 keeps the
+    // original seed, so classic and shards=1 agree either way).
+    if (options_.fault.seed == 0) {
+      options_.fault.seed = options_.seed ^ kFaultSeedSalt;
+    }
+    fault_model_ = std::make_unique<FaultModel>(
+        options_.fault, options_.network, num_user + num_data + 1);
+  }
+
+  // The rng fork position is identical in every branch, so enabling (or
+  // force-enabling) the fault layer never perturbs downstream draw order.
   if (IsShard()) {
     auto sharded = std::make_unique<ShardedTransport>(
         &sim_, options_.network, root_rng_.Fork(), shard_ctx_.shard,
         shard_ctx_.plan->site_shard, shard_ctx_.bus,
-        Rng(options_.seed ^ kCrossRngSalt));
+        Rng(options_.seed ^ kCrossRngSalt), fault_model_.get());
     sharded_transport_ = sharded.get();
     transport_ = std::move(sharded);
+  } else if (fault_model_ != nullptr) {
+    transport_ = std::make_unique<FlakyTransport>(
+        &sim_, options_.network, root_rng_.Fork(), fault_model_.get());
   } else {
     transport_ = std::make_unique<SimTransport>(&sim_, options_.network,
                                                 root_rng_.Fork());
@@ -149,6 +166,7 @@ void Engine::BuildSites() {
   issuer_options.restart_delay_mean = options_.restart_delay_mean;
   issuer_options.semi_locks =
       options_.semi_locks && options_.backend == BackendKind::kUnified;
+  issuer_options.request_timeout = options_.request_timeout;
   for (std::uint32_t u = 0; u < num_user; ++u) {
     if (!OwnsSite(u)) {
       issuers_.push_back(nullptr);
@@ -229,6 +247,23 @@ void Engine::BuildSites() {
       det->SetStopFlag(&stopped_);
       det->Start();
       probe_detectors_.push_back(std::move(det));
+    }
+  }
+
+  // Crash events: a crashed *user* site aborts its in-flight, not-yet-
+  // executing incarnations (their reliable AbortTxns free the queue
+  // slots) and restarts them no earlier than recovery. Data-site crashes
+  // need no engine hook: queue-manager state is durable and the
+  // transport's inbound gating (drop unreliable, defer reliable) does the
+  // rest, with issuer timeouts re-covering dropped requests.
+  if (fault_model_ != nullptr) {
+    for (const CrashEvent& c : options_.fault.crashes) {
+      if (c.site >= num_user || !OwnsSite(c.site)) continue;
+      const SiteId site = c.site;
+      const SimTime recover_at = c.at + c.down;
+      sim_.ScheduleAt(c.at, [this, site, recover_at]() {
+        IssuerAt(site)->OnCrash(recover_at);
+      });
     }
   }
 }
@@ -329,6 +364,15 @@ void Engine::Admit(std::size_t pool_index) {
 }
 
 void Engine::AdmitSpec(TxnSpec spec, SimTime arrival) {
+  if (fault_model_ != nullptr && fault_model_->DownAt(spec.home, sim_.Now())) {
+    // The home site is down: the user re-submits at recovery. The arrival
+    // timestamp is kept, so system time includes the outage wait.
+    const SimTime retry = fault_model_->RecoverTime(spec.home, sim_.Now());
+    sim_.ScheduleAt(retry, [this, spec = std::move(spec), arrival]() mutable {
+      AdmitSpec(std::move(spec), arrival);
+    });
+    return;
+  }
   if (policy_) spec.protocol = policy_(spec);
   if (options_.backend == BackendKind::kPure) {
     UNICC_CHECK_MSG(spec.protocol == options_.pure_protocol,

@@ -30,9 +30,15 @@ ShardedEngine::ShardedEngine(EngineOptions options, CallbacksFactory callbacks)
       plan_(ShardPlan::Build(options_)),
       bus_(plan_.shards),
       directory_(plan_.shards),
-      lookahead_(options_.network.base_delay) {
+      lookahead_(options_.fault.MinLinkDelay(options_.network.base_delay)) {
   UNICC_CHECK_MSG(options_.Validate().ok(), "invalid engine options");
   merged_metrics_.SetKeepResults(options_.keep_results);
+  // Resolve a derived fault seed *before* per-shard seed mixing: the fault
+  // schedule is positional and must be identical on every shard.
+  if ((options_.fault.Active() || options_.fault.force_flaky) &&
+      options_.fault.seed == 0) {
+    options_.fault.seed = options_.seed ^ kFaultSeedSalt;
+  }
   for (std::uint32_t s = 0; s < plan_.shards; ++s) {
     EngineOptions shard_options = options_;
     shard_options.seed = ShardSeed(options_.seed, s);

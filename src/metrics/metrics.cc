@@ -87,6 +87,8 @@ void RunMetrics::OnRestart(Protocol proto, TxnOutcome why) {
     ++reject_restarts_;
   } else if (why == TxnOutcome::kRestartedByDeadlock) {
     ++deadlock_restarts_;
+  } else if (why == TxnOutcome::kRestartedByTimeout) {
+    ++timeout_restarts_;
   }
 }
 
@@ -103,6 +105,7 @@ void RunMetrics::MergeFrom(const RunMetrics& other) {
   total_committed_ += other.total_committed_;
   deadlock_restarts_ += other.deadlock_restarts_;
   reject_restarts_ += other.reject_restarts_;
+  timeout_restarts_ += other.timeout_restarts_;
   if (keep_results_) {
     results_.insert(results_.end(), other.results_.begin(),
                     other.results_.end());

@@ -78,6 +78,7 @@ class RunMetrics {
   std::uint64_t total_committed() const { return total_committed_; }
   std::uint64_t deadlock_restarts() const { return deadlock_restarts_; }
   std::uint64_t reject_restarts() const { return reject_restarts_; }
+  std::uint64_t timeout_restarts() const { return timeout_restarts_; }
   double MeanSystemTimeMs() const { return all_system_time_.MeanMs(); }
   const DurationStat& SystemTime() const { return all_system_time_; }
 
@@ -94,6 +95,7 @@ class RunMetrics {
   std::uint64_t total_committed_ = 0;
   std::uint64_t deadlock_restarts_ = 0;
   std::uint64_t reject_restarts_ = 0;
+  std::uint64_t timeout_restarts_ = 0;
   bool keep_results_ = false;
   std::vector<TxnResult> results_;
 };

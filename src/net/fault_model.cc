@@ -1,0 +1,211 @@
+#include "net/fault_model.h"
+
+#include <cmath>
+#include <string>
+
+#include "common/check.h"
+
+namespace unicc {
+
+namespace {
+
+// Distinct draw purposes; each gets an independent hash stream.
+constexpr std::uint64_t kLossSalt = 0x6c6f7373u;      // "loss"
+constexpr std::uint64_t kDupSalt = 0x64757032u;       // "dup2"
+constexpr std::uint64_t kReorderSalt = 0x72657264u;   // "rerd"
+constexpr std::uint64_t kReorderAmtSalt = 0x72616d74u;  // "ramt"
+constexpr std::uint64_t kDupAmtSalt = 0x64616d74u;    // "damt"
+constexpr std::uint64_t kJitterSalt = 0x6a697474u;    // "jitt"
+
+// splitmix64 finalizer: a full-avalanche 64-bit mix.
+std::uint64_t Mix(std::uint64_t x) {
+  x += 0x9e3779b97f4a7c15ull;
+  x = (x ^ (x >> 30)) * 0xbf58476d1ce4e5b9ull;
+  x = (x ^ (x >> 27)) * 0x94d049bb133111ebull;
+  return x ^ (x >> 31);
+}
+
+// Hash -> uniform double in [0, 1).
+double U01(std::uint64_t h) {
+  return static_cast<double>(h >> 11) * 0x1.0p-53;
+}
+
+// Hash -> exponential with the given mean (0 when mean is 0).
+Duration HashedExponential(std::uint64_t h, Duration mean) {
+  if (mean == 0) return 0;
+  const double u = U01(h);
+  return static_cast<Duration>(-static_cast<double>(mean) *
+                               std::log(1.0 - u));
+}
+
+}  // namespace
+
+bool FaultOptions::Active() const {
+  return regions > 0 || loss > 0 || duplicate > 0 || reorder > 0 ||
+         !crashes.empty();
+}
+
+Status FaultOptions::Validate(std::uint32_t total_sites) const {
+  if (loss < 0 || loss >= 1) {
+    return Status::InvalidArgument("[fault] loss must be in [0, 1)");
+  }
+  if (duplicate < 0 || duplicate > 1) {
+    return Status::InvalidArgument("[fault] duplicate must be in [0, 1]");
+  }
+  if (reorder < 0 || reorder > 1) {
+    return Status::InvalidArgument("[fault] reorder must be in [0, 1]");
+  }
+  if (reorder > 0 && reorder_delay == 0) {
+    return Status::InvalidArgument(
+        "[fault] reorder > 0 needs reorder_ms > 0");
+  }
+  if (regions > 0) {
+    if (lan_delay == 0) {
+      return Status::InvalidArgument(
+          "[topology] lan_ms must be > 0 (it bounds the minimum link "
+          "delay)");
+    }
+    if (lan_delay > wan_delay || wan_delay > geo_delay) {
+      return Status::InvalidArgument(
+          "[topology] tier delays must satisfy lan_ms <= wan_ms <= geo_ms");
+    }
+  }
+  for (const CrashEvent& c : crashes) {
+    if (c.site >= total_sites) {
+      return Status::InvalidArgument(
+          "[fault] crash site " + std::to_string(c.site) +
+          " out of range (user + data sites only)");
+    }
+    if (c.down == 0) {
+      return Status::InvalidArgument("[fault] crash downtime must be > 0");
+    }
+  }
+  return Status::OK();
+}
+
+FaultModel::FaultModel(const FaultOptions& options,
+                       const NetworkOptions& network,
+                       std::uint32_t total_sites)
+    : options_(options),
+      network_(network),
+      total_sites_(total_sites),
+      active_(options.Active()) {
+  UNICC_CHECK(total_sites_ > 0);
+  if (options_.regions > total_sites_) options_.regions = total_sites_;
+}
+
+std::uint64_t FaultModel::Draw(std::uint64_t salt, SiteId from, SiteId to,
+                               std::uint64_t seq) const {
+  std::uint64_t h = options_.seed ^ Mix(salt);
+  h = Mix(h ^ ((static_cast<std::uint64_t>(from) << 32) | to));
+  return Mix(h ^ seq);
+}
+
+std::uint32_t FaultModel::RegionOf(SiteId site) const {
+  if (options_.regions <= 1) return 0;
+  if (options_.placement == FaultOptions::Placement::kInterleave) {
+    return site % options_.regions;
+  }
+  return static_cast<std::uint32_t>(
+      static_cast<std::uint64_t>(site) * options_.regions / total_sites_);
+}
+
+Duration FaultModel::LinkDelay(SiteId from, SiteId to,
+                               std::uint64_t seq) const {
+  if (from == to) return network_.local_delay;
+  if (options_.regions == 0) {
+    return network_.base_delay +
+           HashedExponential(Draw(kJitterSalt, from, to, seq),
+                             network_.jitter_mean);
+  }
+  const std::uint32_t r1 = RegionOf(from);
+  const std::uint32_t r2 = RegionOf(to);
+  const std::uint32_t dist = r1 > r2 ? r1 - r2 : r2 - r1;
+  Duration base = options_.geo_delay;
+  Duration jitter = options_.geo_jitter;
+  if (dist == 0) {
+    base = options_.lan_delay;
+    jitter = options_.lan_jitter;
+  } else if (dist == 1) {
+    base = options_.wan_delay;
+    jitter = options_.wan_jitter;
+  }
+  return base + HashedExponential(Draw(kJitterSalt, from, to, seq), jitter);
+}
+
+FaultModel::Decision FaultModel::Decide(MessageKind kind, SiteId from,
+                                        SiteId to,
+                                        std::uint64_t seq) const {
+  Decision d;
+  if (options_.loss > 0 && !Reliable(kind) &&
+      U01(Draw(kLossSalt, from, to, seq)) < options_.loss) {
+    d.drop = true;
+    return d;
+  }
+  if (options_.reorder > 0 &&
+      U01(Draw(kReorderSalt, from, to, seq)) < options_.reorder) {
+    // Uniform hold-back in (0, reorder_delay]; never 0 so a "reordered"
+    // message is always actually displaced.
+    const double u = U01(Draw(kReorderAmtSalt, from, to, seq));
+    d.extra = 1 + static_cast<Duration>(
+                      u * static_cast<double>(options_.reorder_delay));
+  }
+  if (options_.duplicate > 0 && Duplicable(kind) &&
+      U01(Draw(kDupSalt, from, to, seq)) < options_.duplicate) {
+    d.duplicate = true;
+    const double u = U01(Draw(kDupAmtSalt, from, to, seq));
+    d.dup_extra = 1 + static_cast<Duration>(
+                          u * static_cast<double>(options_.reorder_delay));
+  }
+  return d;
+}
+
+bool FaultModel::DownAt(SiteId site, SimTime t) const {
+  for (const CrashEvent& c : options_.crashes) {
+    if (c.site == site && c.at <= t && t < c.at + c.down) return true;
+  }
+  return false;
+}
+
+SimTime FaultModel::RecoverTime(SiteId site, SimTime t) const {
+  SimTime r = t;
+  bool again = true;
+  while (again) {
+    again = false;
+    for (const CrashEvent& c : options_.crashes) {
+      if (c.site == site && c.at <= r && r < c.at + c.down) {
+        r = c.at + c.down;
+        again = true;
+      }
+    }
+  }
+  return r;
+}
+
+bool FaultModel::Reliable(MessageKind k) {
+  switch (k) {
+    case MessageKind::kGrant:
+    case MessageKind::kFinalTs:
+    case MessageKind::kRelease:
+    case MessageKind::kSemiTransform:
+    case MessageKind::kAbortTxn:
+      return true;
+    default:
+      return false;
+  }
+}
+
+bool FaultModel::Duplicable(MessageKind k) {
+  switch (k) {
+    case MessageKind::kGrant:
+    case MessageKind::kBackoff:
+    case MessageKind::kPaAccept:
+    case MessageKind::kReject:
+    case MessageKind::kVictim:
+      return true;
+    default:
+      return false;
+  }
+}
+
+}  // namespace unicc

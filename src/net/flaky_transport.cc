@@ -1,0 +1,67 @@
+#include "net/flaky_transport.h"
+
+#include <utility>
+
+#include "common/check.h"
+
+namespace unicc {
+
+namespace {
+std::uint64_t ChannelKey(SiteId from, SiteId to) {
+  return (static_cast<std::uint64_t>(from) << 32) | to;
+}
+}  // namespace
+
+FlakyTransport::FlakyTransport(Simulator* sim, NetworkOptions options,
+                               Rng rng, const FaultModel* model)
+    : SimTransport(sim, options, rng), model_(model) {}
+
+std::uint64_t FlakyTransport::NextSeq(SiteId from, SiteId to) {
+  return seq_[ChannelKey(from, to)]++;
+}
+
+bool FlakyTransport::CrashAdjust(MessageKind kind, SiteId from, SiteId to,
+                                 std::uint64_t seq, SimTime* deliver) {
+  if (!model_->DownAt(to, *deliver)) return true;
+  if (!FaultModel::Reliable(kind)) return false;
+  // "Retransmit until acked": the message lands one fresh link delay
+  // after the receiver recovers.
+  *deliver =
+      model_->RecoverTime(to, *deliver) + model_->LinkDelay(from, to, seq);
+  return true;
+}
+
+void FlakyTransport::Send(SiteId from, SiteId to, Message m) {
+  if (model_ == nullptr || !model_->Active()) {
+    SimTransport::Send(from, to, std::move(m));
+    return;
+  }
+  const MessageKind kind = KindOf(m);
+  const std::uint64_t seq = NextSeq(from, to);
+  // Accounting covers every message put on the wire, lost or not: the
+  // communication-cost experiments measure what was sent.
+  Account(m, from != to);
+  SimTime deliver = sim()->Now() + model_->LinkDelay(from, to, seq);
+  const FaultModel::Decision d = model_->Decide(kind, from, to, seq);
+  if (d.drop) {
+    ++dropped_;
+    return;
+  }
+  deliver += d.extra;
+  if (!CrashAdjust(kind, from, to, seq, &deliver)) {
+    ++dropped_;
+    return;
+  }
+  Message copy;
+  if (d.duplicate) copy = m;
+  deliver = ClampFifo(from, to, deliver);
+  ScheduleDelivery(deliver, from, to, std::move(m));
+  if (d.duplicate) {
+    ++duplicated_;
+    Account(copy, from != to);
+    const SimTime dup = ClampFifo(from, to, deliver + d.dup_extra);
+    ScheduleDelivery(dup, from, to, std::move(copy));
+  }
+}
+
+}  // namespace unicc

@@ -15,8 +15,9 @@ std::uint64_t ChannelKey(SiteId from, SiteId to) {
 ShardedTransport::ShardedTransport(Simulator* sim, NetworkOptions options,
                                    Rng rng, std::uint32_t shard,
                                    std::vector<std::uint32_t> site_shard,
-                                   ShardBus* bus, Rng cross_rng)
-    : SimTransport(sim, options, rng),
+                                   ShardBus* bus, Rng cross_rng,
+                                   const FaultModel* model)
+    : FlakyTransport(sim, options, rng, model),
       shard_(shard),
       site_shard_(std::move(site_shard)),
       bus_(bus),
@@ -24,26 +25,61 @@ ShardedTransport::ShardedTransport(Simulator* sim, NetworkOptions options,
   UNICC_CHECK(bus_ != nullptr);
 }
 
+SimTime ShardedTransport::CrossClampFifo(SiteId from, SiteId to,
+                                         SimTime deliver) {
+  if (!options().fifo_per_channel) return deliver;
+  SimTime& last = cross_last_[ChannelKey(from, to)];
+  if (deliver <= last) deliver = last + 1;
+  last = deliver;
+  return deliver;
+}
+
 void ShardedTransport::Send(SiteId from, SiteId to, Message m) {
   UNICC_CHECK_MSG(to < site_shard_.size(), "send to unknown site");
   const std::uint32_t dst = site_shard_[to];
   if (dst == shard_) {
-    SimTransport::Send(from, to, std::move(m));
+    FlakyTransport::Send(from, to, std::move(m));
     return;
   }
   // from != to always holds across shards.
+  if (model() != nullptr && model()->Active()) {
+    const MessageKind kind = KindOf(m);
+    const std::uint64_t seq = NextSeq(from, to);
+    Account(m, true);
+    SimTime deliver = sim()->Now() + model()->LinkDelay(from, to, seq);
+    const FaultModel::Decision d = model()->Decide(kind, from, to, seq);
+    if (d.drop) {
+      ++dropped_;
+      return;
+    }
+    deliver += d.extra;
+    if (!CrashAdjust(kind, from, to, seq, &deliver)) {
+      ++dropped_;
+      return;
+    }
+    Message copy;
+    if (d.duplicate) copy = m;
+    deliver = CrossClampFifo(from, to, deliver);
+    bus_->Push(shard_, dst,
+               ShardEnvelope{deliver, shard_, from, to, cross_seq_++,
+                             std::move(m)});
+    if (d.duplicate) {
+      ++duplicated_;
+      Account(copy, true);
+      const SimTime dup = CrossClampFifo(from, to, deliver + d.dup_extra);
+      bus_->Push(shard_, dst,
+                 ShardEnvelope{dup, shard_, from, to, cross_seq_++,
+                               std::move(copy)});
+    }
+    return;
+  }
   Account(m, true);
   Duration delay = options().base_delay;
   if (options().jitter_mean > 0) {
     delay += static_cast<Duration>(
         cross_rng_.Exponential(static_cast<double>(options().jitter_mean)));
   }
-  SimTime deliver = sim()->Now() + delay;
-  if (options().fifo_per_channel) {
-    SimTime& last = cross_last_[ChannelKey(from, to)];
-    if (deliver <= last) deliver = last + 1;
-    last = deliver;
-  }
+  const SimTime deliver = CrossClampFifo(from, to, sim()->Now() + delay);
   bus_->Push(shard_, dst,
              ShardEnvelope{deliver, shard_, from, to, cross_seq_++,
                            std::move(m)});

@@ -1,15 +1,20 @@
 // Shard-aware transport: messages whose destination site lives in the same
-// shard go through the normal SimTransport path; messages to a site owned
-// by another shard are accounted and stamped with their delivery time
-// here, then parked on the ShardBus until the coordinator injects them
-// into the destination shard at a window barrier.
+// shard go through the normal FlakyTransport/SimTransport path; messages
+// to a site owned by another shard are accounted and stamped with their
+// delivery time here, then parked on the ShardBus until the coordinator
+// injects them into the destination shard at a window barrier.
 //
-// Cross-shard delivery times use the same base+jitter model as local
-// remote sends, drawn from a dedicated rng (seeded identically in every
-// shard count) so the in-shard delay stream is untouched — that is what
-// keeps `shards = 1` byte-identical to the classic engine. FIFO-per-channel
-// is enforced with a shard-local clamp per (from, to) pair; cross and
-// in-shard channels are disjoint, so the two clamps never interact.
+// Without a fault model, cross-shard delivery times use the same
+// base+jitter model as local remote sends, drawn from a dedicated rng
+// (seeded identically in every shard count) so the in-shard delay stream
+// is untouched — that is what keeps `shards = 1` byte-identical to the
+// classic engine. With an active fault model the cross path instead uses
+// the model's positional link delays and fault decisions, exactly like
+// the in-shard path (the fault schedule is a pure function of
+// (from, to, seq), so it does not depend on which shard sends).
+// FIFO-per-channel is enforced with a shard-local clamp per (from, to)
+// pair; cross and in-shard channels are disjoint, so the two clamps never
+// interact.
 #ifndef UNICC_NET_SHARDED_TRANSPORT_H_
 #define UNICC_NET_SHARDED_TRANSPORT_H_
 
@@ -19,18 +24,20 @@
 
 #include "common/rng.h"
 #include "common/types.h"
+#include "net/flaky_transport.h"
 #include "net/shard_bus.h"
 #include "net/transport.h"
 
 namespace unicc {
 
-class ShardedTransport : public SimTransport {
+class ShardedTransport : public FlakyTransport {
  public:
   // `site_shard` maps every SiteId to its owning shard; `bus` must outlive
-  // the transport. `cross_rng` feeds only cross-shard jitter draws.
+  // the transport. `cross_rng` feeds only cross-shard jitter draws (and
+  // only when no fault model is active). `model` may be null.
   ShardedTransport(Simulator* sim, NetworkOptions options, Rng rng,
                    std::uint32_t shard, std::vector<std::uint32_t> site_shard,
-                   ShardBus* bus, Rng cross_rng);
+                   ShardBus* bus, Rng cross_rng, const FaultModel* model);
 
   void Send(SiteId from, SiteId to, Message m) override;
 
@@ -42,6 +49,8 @@ class ShardedTransport : public SimTransport {
   std::uint64_t cross_sends() const { return cross_seq_; }
 
  private:
+  SimTime CrossClampFifo(SiteId from, SiteId to, SimTime deliver);
+
   std::uint32_t shard_;
   std::vector<std::uint32_t> site_shard_;
   ShardBus* bus_;

@@ -62,32 +62,35 @@ void SimTransport::ScheduleDelivery(SimTime when, SiteId from, SiteId to,
   });
 }
 
+SimTime SimTransport::ClampFifo(SiteId from, SiteId to, SimTime deliver) {
+  if (!options_.fifo_per_channel) return deliver;
+  // `from` needs no handler, so the matrix covers it explicitly.
+  const std::size_t n =
+      std::max(handlers_.size(), static_cast<std::size_t>(from) + 1);
+  if (channel_stride_ < n) {
+    // Sites register before the first send; on the rare late
+    // registration, rebuild the (from, to) matrix preserving entries.
+    std::vector<SimTime> grown(n * n, 0);
+    for (std::size_t f = 0; f < channel_stride_; ++f) {
+      for (std::size_t t = 0; t < channel_stride_; ++t) {
+        grown[f * n + t] = last_delivery_[f * channel_stride_ + t];
+      }
+    }
+    last_delivery_ = std::move(grown);
+    channel_stride_ = n;
+  }
+  SimTime& last = last_delivery_[from * channel_stride_ + to];
+  if (deliver <= last) deliver = last + 1;
+  last = deliver;
+  return deliver;
+}
+
 void SimTransport::Send(SiteId from, SiteId to, Message m) {
   UNICC_CHECK_MSG(to < handlers_.size() && handlers_[to],
                   "message sent to unregistered site");
   Account(m, from != to);
   const Duration delay = DelayFor(from, to);
-  SimTime deliver = sim_->Now() + delay;
-  if (options_.fifo_per_channel) {
-    // `from` needs no handler, so the matrix covers it explicitly.
-    const std::size_t n =
-        std::max(handlers_.size(), static_cast<std::size_t>(from) + 1);
-    if (channel_stride_ < n) {
-      // Sites register before the first send; on the rare late
-      // registration, rebuild the (from, to) matrix preserving entries.
-      std::vector<SimTime> grown(n * n, 0);
-      for (std::size_t f = 0; f < channel_stride_; ++f) {
-        for (std::size_t t = 0; t < channel_stride_; ++t) {
-          grown[f * n + t] = last_delivery_[f * channel_stride_ + t];
-        }
-      }
-      last_delivery_ = std::move(grown);
-      channel_stride_ = n;
-    }
-    SimTime& last = last_delivery_[from * channel_stride_ + to];
-    if (deliver <= last) deliver = last + 1;
-    last = deliver;
-  }
+  const SimTime deliver = ClampFifo(from, to, sim_->Now() + delay);
   const std::uint32_t node = AcquireNode(std::move(m));
   sim_->ScheduleAt(deliver, [this, from, to, node]() {
     Deliver(from, to, node);

@@ -66,10 +66,16 @@ class SimTransport : public Transport {
 
  protected:
   // Hooks for transports layered on the simulated substrate (see
-  // ShardedTransport): counter accounting without scheduling, and direct
-  // scheduling of a delivery whose delay was computed elsewhere.
+  // ShardedTransport, FlakyTransport): counter accounting without
+  // scheduling, and direct scheduling of a delivery whose delay was
+  // computed elsewhere.
   void Account(const Message& m, bool remote);
   void ScheduleDelivery(SimTime when, SiteId from, SiteId to, Message m);
+  // Applies FIFO-per-channel ordering: returns `deliver`, pushed past the
+  // last delivery already scheduled on the (from, to) channel, and records
+  // it as the channel's new high-water mark. Identity when
+  // fifo_per_channel is off.
+  SimTime ClampFifo(SiteId from, SiteId to, SimTime deliver);
   Simulator* sim() const { return sim_; }
   const NetworkOptions& options() const { return options_; }
 

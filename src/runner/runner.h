@@ -60,6 +60,8 @@ struct RunRequest {
 
   // Overrides applied on top of the spec before anything is built.
   std::optional<std::uint64_t> seed;
+  // Overrides [fault] seed (0 re-derives one from the engine seed).
+  std::optional<std::uint64_t> fault_seed;
   std::optional<std::uint32_t> shards;
   std::optional<Duration> metrics_window;  // timeline window; 0 disables
 

@@ -167,6 +167,8 @@ Status ParseEngineSection(const IniSection& sec, EngineOptions* eo) {
       if (Status s = ParseUint(e, &u); !s.ok()) return s;
       if (u == 0) return BadValue(e, "must be >= 1");
       eo->default_backoff_interval = u;
+    } else if (e.key == "request_timeout_ms") {
+      if (Status s = ParseMs(e, &eo->request_timeout); !s.ok()) return s;
     } else if (e.key == "seed") {
       if (Status s = ParseUint(e, &eo->seed); !s.ok()) return s;
     } else {
@@ -177,7 +179,8 @@ Status ParseEngineSection(const IniSection& sec, EngineOptions* eo) {
   return Status::OK();
 }
 
-Status ParsePolicySection(const IniSection& sec, ScenarioPolicy* policy) {
+Status ParsePolicySection(const IniSection& sec, ScenarioPolicy* policy,
+                          EngineOptions* eo) {
   for (const IniEntry& e : sec.entries) {
     if (e.key == "kind") {
       if (e.value == "fixed") {
@@ -220,8 +223,122 @@ Status ParsePolicySection(const IniSection& sec, ScenarioPolicy* policy) {
       if (Status s = ParseMs(e, &policy->estimator_window); !s.ok()) {
         return s;
       }
+    } else if (e.key == "detector_interval_ms") {
+      // Detection period; applied to whichever detector [engine] selects.
+      Duration d = 0;
+      if (Status s = ParseMs(e, &d); !s.ok()) return s;
+      if (d == 0) return BadValue(e, "must be > 0");
+      eo->central_detector.interval = d;
+      eo->probe_detector.interval = d;
+    } else if (e.key == "detector_timeout_ms") {
+      // Central detector only: abandon a snapshot round whose replies have
+      // not all arrived within this window (required under message loss).
+      if (Status s = ParseMs(e, &eo->central_detector.round_timeout);
+          !s.ok()) {
+        return s;
+      }
     } else {
       return Status::InvalidArgument(Where(e) + "unknown [policy] key '" +
+                                     e.key + "'");
+    }
+  }
+  return Status::OK();
+}
+
+Status ParseTopologySection(const IniSection& sec, FaultOptions* f) {
+  for (const IniEntry& e : sec.entries) {
+    std::uint64_t u = 0;
+    if (e.key == "regions") {
+      if (Status s = ParseUint(e, &u); !s.ok()) return s;
+      if (u == 0) return BadValue(e, "must be >= 1");
+      f->regions = static_cast<std::uint32_t>(u);
+    } else if (e.key == "placement") {
+      if (e.value == "blocked") {
+        f->placement = FaultOptions::Placement::kBlocked;
+      } else if (e.value == "interleave") {
+        f->placement = FaultOptions::Placement::kInterleave;
+      } else {
+        return BadValue(e, "expected blocked/interleave");
+      }
+    } else if (e.key == "lan_ms") {
+      if (Status s = ParseMs(e, &f->lan_delay); !s.ok()) return s;
+    } else if (e.key == "wan_ms") {
+      if (Status s = ParseMs(e, &f->wan_delay); !s.ok()) return s;
+    } else if (e.key == "geo_ms") {
+      if (Status s = ParseMs(e, &f->geo_delay); !s.ok()) return s;
+    } else if (e.key == "lan_jitter_ms") {
+      if (Status s = ParseMs(e, &f->lan_jitter); !s.ok()) return s;
+    } else if (e.key == "wan_jitter_ms") {
+      if (Status s = ParseMs(e, &f->wan_jitter); !s.ok()) return s;
+    } else if (e.key == "geo_jitter_ms") {
+      if (Status s = ParseMs(e, &f->geo_jitter); !s.ok()) return s;
+    } else {
+      return Status::InvalidArgument(Where(e) + "unknown [topology] key '" +
+                                     e.key + "'");
+    }
+  }
+  return Status::OK();
+}
+
+// "SITE@AT_MS+DOWN_MS" entries, comma-separated.
+Status ParseCrashList(const IniEntry& e, std::vector<CrashEvent>* out) {
+  const std::string& v = e.value;
+  std::size_t pos = 0;
+  bool any = false;
+  while (pos <= v.size()) {
+    const std::size_t comma = v.find(',', pos);
+    std::string tok = v.substr(
+        pos, comma == std::string::npos ? std::string::npos : comma - pos);
+    const std::size_t b = tok.find_first_not_of(" \t");
+    if (b == std::string::npos) {
+      return BadValue(e, "expected SITE@AT_MS+DOWN_MS");
+    }
+    tok = tok.substr(b, tok.find_last_not_of(" \t") - b + 1);
+    const std::size_t at = tok.find('@');
+    const std::size_t plus =
+        at == std::string::npos ? std::string::npos : tok.find('+', at);
+    if (at == std::string::npos || plus == std::string::npos) {
+      return BadValue(e, "expected SITE@AT_MS+DOWN_MS");
+    }
+    IniEntry sub = e;
+    CrashEvent c;
+    std::uint64_t site = 0;
+    sub.value = tok.substr(0, at);
+    if (Status s = ParseUint(sub, &site); !s.ok()) return s;
+    c.site = static_cast<SiteId>(site);
+    Duration at_ms = 0;
+    sub.value = tok.substr(at + 1, plus - at - 1);
+    if (Status s = ParseMs(sub, &at_ms); !s.ok()) return s;
+    c.at = at_ms;
+    sub.value = tok.substr(plus + 1);
+    if (Status s = ParseMs(sub, &c.down); !s.ok()) return s;
+    if (c.down == 0) return BadValue(e, "downtime must be > 0");
+    out->push_back(c);
+    any = true;
+    if (comma == std::string::npos) break;
+    pos = comma + 1;
+  }
+  if (!any) return BadValue(e, "expected SITE@AT_MS+DOWN_MS");
+  return Status::OK();
+}
+
+Status ParseFaultSection(const IniSection& sec, FaultOptions* f) {
+  for (const IniEntry& e : sec.entries) {
+    if (e.key == "seed") {
+      if (Status s = ParseUint(e, &f->seed); !s.ok()) return s;
+    } else if (e.key == "loss") {
+      if (Status s = ParseFraction(e, &f->loss); !s.ok()) return s;
+      if (f->loss >= 1) return BadValue(e, "must be < 1");
+    } else if (e.key == "duplicate") {
+      if (Status s = ParseFraction(e, &f->duplicate); !s.ok()) return s;
+    } else if (e.key == "reorder") {
+      if (Status s = ParseFraction(e, &f->reorder); !s.ok()) return s;
+    } else if (e.key == "reorder_ms") {
+      if (Status s = ParseMs(e, &f->reorder_delay); !s.ok()) return s;
+    } else if (e.key == "crashes") {
+      if (Status s = ParseCrashList(e, &f->crashes); !s.ok()) return s;
+    } else {
+      return Status::InvalidArgument(Where(e) + "unknown [fault] key '" +
                                      e.key + "'");
     }
   }
@@ -360,6 +477,24 @@ Status ParsePhaseSection(const IniSection& sec, const std::string& name,
       if (Status s = ParseMs(e, &d); !s.ok()) return s;
       ph->start = d;
       saw_start = true;
+      continue;
+    }
+    if (e.key == "crash") {
+      // SITE+DOWN_MS: the site fails when this phase starts.
+      const std::size_t plus = e.value.find('+');
+      if (plus == std::string::npos) {
+        return BadValue(e, "expected SITE+DOWN_MS");
+      }
+      IniEntry sub = e;
+      std::uint64_t site = 0;
+      sub.value = e.value.substr(0, plus);
+      if (Status s = ParseUint(sub, &site); !s.ok()) return s;
+      ScenarioPhase::Crash c;
+      c.site = static_cast<SiteId>(site);
+      sub.value = e.value.substr(plus + 1);
+      if (Status s = ParseMs(sub, &c.down); !s.ok()) return s;
+      if (c.down == 0) return BadValue(e, "downtime must be > 0");
+      ph->crashes.push_back(c);
       continue;
     }
     ScenarioPhase::Override o;
@@ -608,7 +743,18 @@ StatusOr<ScenarioSpec> ScenarioSpec::FromIni(const IniFile& ini) {
     } else if (sec.name == "engine") {
       if (Status s = ParseEngineSection(sec, &spec.engine); !s.ok()) return s;
     } else if (sec.name == "policy") {
-      if (Status s = ParsePolicySection(sec, &spec.policy); !s.ok()) return s;
+      if (Status s = ParsePolicySection(sec, &spec.policy, &spec.engine);
+          !s.ok()) {
+        return s;
+      }
+    } else if (sec.name == "topology") {
+      if (Status s = ParseTopologySection(sec, &spec.engine.fault); !s.ok()) {
+        return s;
+      }
+    } else if (sec.name == "fault") {
+      if (Status s = ParseFaultSection(sec, &spec.engine.fault); !s.ok()) {
+        return s;
+      }
     } else if (sec.name == "run") {
       if (Status s = ParseRunSection(sec, &spec.engine); !s.ok()) return s;
     } else if (sec.name.rfind(kClassPrefix, 0) == 0) {
@@ -637,11 +783,19 @@ StatusOr<ScenarioSpec> ScenarioSpec::FromIni(const IniFile& ini) {
       return Status::InvalidArgument(
           "line " + std::to_string(sec.line) + ": unknown section [" +
           sec.name +
-          "] (expected scenario/engine/policy/run/class NAME/phase NAME)");
+          "] (expected scenario/engine/policy/topology/fault/run/"
+          "class NAME/phase NAME)");
     }
   }
   if (spec.classes.empty()) {
     return Status::InvalidArgument("scenario has no [class NAME] section");
+  }
+  // Phase-timeline crash events fire at their phase's start time.
+  for (const ScenarioPhase& ph : spec.phases) {
+    for (const ScenarioPhase::Crash& c : ph.crashes) {
+      spec.engine.fault.crashes.push_back(CrashEvent{c.site, ph.start,
+                                                     c.down});
+    }
   }
   if (Status s = CrossValidate(spec); !s.ok()) return s;
   return spec;

@@ -101,6 +101,14 @@ struct ScenarioPhase {
     IniEntry entry;          // key (without the class prefix) and value
   };
   std::vector<Override> overrides;
+
+  // `crash = SITE+DOWN_MS` entries: the site fails at the phase start and
+  // recovers DOWN_MS later. Folded into [fault] crashes after parsing.
+  struct Crash {
+    SiteId site = 0;
+    Duration down = 0;
+  };
+  std::vector<Crash> crashes;
 };
 
 // A parsed, validated scenario.

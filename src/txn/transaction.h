@@ -38,8 +38,11 @@ struct TxnSpec {
 // Terminal outcome of one incarnation of a transaction.
 enum class TxnOutcome : std::uint8_t {
   kCommitted = 0,
-  kRestartedByReject = 1,   // Basic T/O rejection
-  kRestartedByDeadlock = 2  // chosen as deadlock victim
+  kRestartedByReject = 1,    // Basic T/O rejection
+  kRestartedByDeadlock = 2,  // chosen as deadlock victim
+  // Issuer request timeout: the incarnation made no progress (lost message
+  // or crashed site) and was aborted so fresh requests can re-cover it.
+  kRestartedByTimeout = 3
 };
 
 // Per-transaction completion record used by metrics and tests.

@@ -23,15 +23,21 @@ constexpr SiteId kUserSite = 0;
 
 class DetectorHarness {
  public:
-  DetectorHarness() {
+  explicit DetectorHarness(Duration round_timeout = 0) {
     NetworkOptions net;
     net.base_delay = kMillisecond;
     net.local_delay = 100;
     transport_ = std::make_unique<SimTransport>(&sim_, net, Rng(5));
-    // Data sites answer snapshot requests with scripted edges.
+    // Data sites answer snapshot requests with scripted edges. Site B can
+    // be told to swallow its next replies (a lossy network's dropped
+    // WfgSnapshotReply).
     for (SiteId s : {kDataSiteA, kDataSiteB}) {
       transport_->RegisterSite(s, [this, s](SiteId from, const Message& m) {
         if (const auto* req = std::get_if<msg::WfgSnapshotRequest>(&m)) {
+          if (s == kDataSiteB && drop_replies_ > 0) {
+            --drop_replies_;
+            return;
+          }
           msg::WfgSnapshotReply reply;
           reply.round = req->round;
           reply.edges = edges_[s];
@@ -39,6 +45,7 @@ class DetectorHarness {
         }
       });
     }
+    round_timeout_ = round_timeout;
     // The user site records victims.
     transport_->RegisterSite(kUserSite, [this](SiteId, const Message& m) {
       if (const auto* v = std::get_if<msg::Victim>(&m)) {
@@ -58,6 +65,7 @@ class DetectorHarness {
     directory.home_of = [](TxnId) { return kUserSite; };
     CentralDetectorOptions opt;
     opt.interval = 10 * kMillisecond;
+    opt.round_timeout = round_timeout_;
     detector_ = std::make_unique<CentralDeadlockDetector>(
         kDetectorSite, ctx, opt, std::vector<SiteId>{kDataSiteA, kDataSiteB},
         directory);
@@ -75,6 +83,8 @@ class DetectorHarness {
   void SetEdges(SiteId site, std::vector<WaitEdge> edges) {
     edges_[site] = std::move(edges);
   }
+  // Site B swallows its next `n` snapshot replies.
+  void DropNextReplies(int n) { drop_replies_ = n; }
   void SetProtocol(TxnId t, Protocol p) { protocols_[t] = p; }
 
   void RunRounds(int n) {
@@ -97,6 +107,8 @@ class DetectorHarness {
   std::map<TxnId, Protocol> protocols_;
   std::vector<TxnId> victims_;
   bool stop_ = false;
+  Duration round_timeout_ = 0;
+  int drop_replies_ = 0;
 };
 
 TEST(CentralDetectorTest, NoEdgesNoVictims) {
@@ -165,6 +177,34 @@ TEST(CentralDetectorTest, TwoIndependentCyclesTwoVictims) {
   h.SetEdges(kDataSiteB, {{10, 11}, {11, 10}});
   h.RunRounds(1);
   EXPECT_EQ(h.victims().size(), 2u);
+}
+
+// A lost snapshot reply without a round timeout stalls detection forever:
+// the round's replies never complete, so no new round ever starts. This
+// is why [policy] detector_timeout_ms is mandatory on lossy networks.
+TEST(CentralDetectorTest, LostReplyStallsDetectionWithoutTimeout) {
+  DetectorHarness h;  // round_timeout = 0: wait forever
+  h.DropNextReplies(1);
+  h.SetEdges(kDataSiteA, {{1, 2}});
+  h.SetEdges(kDataSiteB, {{2, 1}});
+  h.RunRounds(5);
+  EXPECT_TRUE(h.victims().empty());
+  EXPECT_EQ(h.detector().rounds_completed(), 0u);
+  EXPECT_EQ(h.detector().rounds_abandoned(), 0u);
+}
+
+// With a round timeout the stalled round is abandoned at the next tick
+// and a fresh round finds the deadlock.
+TEST(CentralDetectorTest, RoundTimeoutAbandonsStalledRound) {
+  DetectorHarness h(/*round_timeout=*/15 * kMillisecond);
+  h.DropNextReplies(1);
+  h.SetEdges(kDataSiteA, {{1, 2}});
+  h.SetEdges(kDataSiteB, {{2, 1}});
+  h.RunRounds(5);
+  EXPECT_GE(h.detector().rounds_abandoned(), 1u);
+  EXPECT_GE(h.detector().rounds_completed(), 1u);
+  ASSERT_FALSE(h.victims().empty());
+  EXPECT_EQ(h.victims().front(), 2u);  // victim policy is unchanged
 }
 
 TEST(CentralDetectorTest, StopFlagHaltsTicks) {

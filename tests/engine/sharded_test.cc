@@ -121,6 +121,10 @@ std::string MacroPartitioned() {
   return std::string(UNICC_SCENARIOS_DIR) + "/macro_partitioned.ini";
 }
 
+std::string FlakyMesh() {
+  return std::string(UNICC_SCENARIOS_DIR) + "/flaky_mesh.ini";
+}
+
 // Contract 2: a fixed shard count is deterministic across runs — thread
 // scheduling must not be able to reorder anything observable.
 TEST(ShardedDeterminismTest, FourShardsAreByteIdenticalAcrossRuns) {
@@ -164,6 +168,68 @@ TEST(ShardedDeterminismTest, ShardCountsAllDrainTheWorkload) {
     EXPECT_GT((*session)->sharded()->BusCrossings(), 0u)
         << shards << " shards exchanged no cross-shard messages";
   }
+}
+
+// Fault injection under the window coordinator. The fault schedule is
+// positional — a pure hash of (fault seed, channel, per-channel sequence
+// number) — so the same message meets the same fate wherever its sender
+// runs. The byte-identity contract under faults is therefore:
+//   a. any fixed shard count is byte-identical across repeated runs, and
+//   b. shards = 1 through the coordinator matches the classic engine
+//      (which the parameterized suite above already covers for every
+//      shipped scenario, flaky_mesh included).
+// Different shard counts legitimately differ in *results* (per-shard
+// engine seeds are mixed per shard), but each must drain the workload,
+// stay serializable, and replay its own fault schedule exactly.
+TEST(FaultedShardingTest, EveryShardCountIsDeterministicUnderFaults) {
+  auto spec = ScenarioSpec::LoadFile(FlakyMesh());
+  ASSERT_TRUE(spec.ok()) << spec.status().ToString();
+  ASSERT_TRUE(spec->engine.fault.Active());
+  const ScenarioSpec::Workload wl = spec->BuildWorkload();
+
+  for (std::uint32_t shards : {1u, 2u, 4u}) {
+    const RunReport first =
+        RunWith(*spec, wl, shards, /*force_sharded=*/shards == 1);
+    const RunReport second =
+        RunWith(*spec, wl, shards, /*force_sharded=*/shards == 1);
+    EXPECT_EQ(Snapshot(first.stats), Snapshot(second.stats))
+        << shards << " shards: two faulted runs diverged";
+    EXPECT_EQ(first.events_run, second.events_run) << shards;
+    EXPECT_EQ(first.stats.committed, spec->TotalTxns()) << shards;
+    EXPECT_TRUE(first.stats.serializable) << shards;
+    EXPECT_TRUE(first.stats.replicas_consistent) << shards;
+  }
+}
+
+// A --fault-seed override changes the schedule but keeps determinism: the
+// overridden run is byte-identical when repeated and differs from the
+// scenario's own schedule.
+TEST(FaultedShardingTest, FaultSeedOverrideIsDeterministic) {
+  auto spec = ScenarioSpec::LoadFile(FlakyMesh());
+  ASSERT_TRUE(spec.ok()) << spec.status().ToString();
+  const ScenarioSpec::Workload wl = spec->BuildWorkload();
+
+  auto run = [&](std::optional<std::uint64_t> fault_seed) {
+    RunRequest request;
+    request.spec = &*spec;
+    request.arrivals = &wl.arrivals;
+    request.forced = wl.forced;
+    request.shards = 2;
+    request.fault_seed = fault_seed;
+    auto session = RunSession::Create(std::move(request));
+    EXPECT_TRUE(session.ok()) << session.status().ToString();
+    return (*session)->Run();
+  };
+
+  const RunReport base = run(std::nullopt);
+  const RunReport seeded = run(7);
+  const RunReport seeded_again = run(7);
+  EXPECT_EQ(Snapshot(seeded.stats), Snapshot(seeded_again.stats))
+      << "two --fault-seed=7 runs diverged";
+  EXPECT_NE(Snapshot(base.stats), Snapshot(seeded.stats))
+      << "--fault-seed=7 replayed the scenario's own fault schedule";
+  EXPECT_EQ(seeded.stats.committed, spec->TotalTxns());
+  EXPECT_TRUE(seeded.stats.serializable);
 }
 
 }  // namespace

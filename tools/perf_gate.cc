@@ -20,6 +20,11 @@
 //   sharded_run        the partitioned macro scenario on the 4-shard
 //                      parallel window engine (its own exact digest,
 //                      sharded_digest, guards result determinism)
+//   faulty_run         the seeded flaky scenario (message loss /
+//                      duplication / reordering + recovery timeouts).
+//                      The wall-clock rate is informational (never
+//                      gated); its exact digest, faulty_digest, pins the
+//                      fault schedule and the recovery machinery
 //
 // Wall-clock rates are machine-dependent, so the gate uses a tolerance
 // band (default: fail below 0.5x baseline) — wide enough for runner
@@ -240,8 +245,10 @@ KernelResult KernelScenarioRun(const char* name, bool stream,
 void WriteReport(const std::string& path,
                  const std::vector<KernelResult>& kernels,
                  std::uint64_t digest, std::uint64_t stream_digest,
-                 std::uint64_t sharded_digest, const std::string& scenario,
-                 const std::string& sharded_scenario) {
+                 std::uint64_t sharded_digest, std::uint64_t faulty_digest,
+                 const std::string& scenario,
+                 const std::string& sharded_scenario,
+                 const std::string& faulty_scenario) {
   std::FILE* f = std::fopen(path.c_str(), "w");
   if (f == nullptr) {
     std::fprintf(stderr, "perf_gate: cannot open %s\n", path.c_str());
@@ -252,14 +259,18 @@ void WriteReport(const std::string& path,
                "  \"generated_by\": \"perf_gate\",\n"
                "  \"scenario\": \"%s\",\n"
                "  \"sharded_scenario\": \"%s\",\n"
+               "  \"faulty_scenario\": \"%s\",\n"
                "  \"scenario_digest\": \"%016llx\",\n"
                "  \"stream_digest\": \"%016llx\",\n"
                "  \"sharded_digest\": \"%016llx\",\n"
+               "  \"faulty_digest\": \"%016llx\",\n"
                "  \"kernels\": [\n",
                scenario.c_str(), sharded_scenario.c_str(),
+               faulty_scenario.c_str(),
                static_cast<unsigned long long>(digest),
                static_cast<unsigned long long>(stream_digest),
-               static_cast<unsigned long long>(sharded_digest));
+               static_cast<unsigned long long>(sharded_digest),
+               static_cast<unsigned long long>(faulty_digest));
   for (std::size_t i = 0; i < kernels.size(); ++i) {
     std::fprintf(f,
                  "    {\"name\": \"%s\", \"items\": \"%s\", "
@@ -284,6 +295,8 @@ struct Baseline {
   bool has_stream_digest = false;
   std::uint64_t sharded_digest = 0;
   bool has_sharded_digest = false;
+  std::uint64_t faulty_digest = 0;
+  bool has_faulty_digest = false;
 };
 
 bool LoadBaseline(const std::string& path, Baseline* out) {
@@ -311,6 +324,12 @@ bool LoadBaseline(const std::string& path, Baseline* out) {
     out->sharded_digest =
         std::strtoull(text.c_str() + p + hkey.size(), nullptr, 16);
     out->has_sharded_digest = true;
+  }
+  const std::string fkey = "\"faulty_digest\": \"";
+  if (std::size_t p = text.find(fkey); p != std::string::npos) {
+    out->faulty_digest =
+        std::strtoull(text.c_str() + p + fkey.size(), nullptr, 16);
+    out->has_faulty_digest = true;
   }
   const std::string nkey = "\"name\": \"";
   const std::string vkey = "\"items_per_sec\": ";
@@ -348,6 +367,11 @@ void PrintHelp() {
       "                      kernel (default 20000)\n"
       "  --sharded-txns=<n>  transaction count for the sharded kernel\n"
       "                      (default 8000)\n"
+      "  --faulty-scenario=<file>  seeded flaky scenario for the\n"
+      "                      faulty_run kernel\n"
+      "                      (default scenarios/flaky_mesh.ini)\n"
+      "  --faulty-txns=<n>   transaction count for the faulty kernel\n"
+      "                      (default 2000)\n"
       "  --shard-curve       also run the sharded scenario at 1/2/4/8\n"
       "                      shards and print the wall-clock scaling curve\n"
       "                      (not gated; see docs/performance.md)");
@@ -369,10 +393,12 @@ int main(int argc, char** argv) {
   std::string baseline_path;
   std::string scenario_path = "scenarios/quickstart.ini";
   std::string sharded_path = "scenarios/macro_partitioned.ini";
+  std::string faulty_path = "scenarios/flaky_mesh.ini";
   double tolerance = 0.5;
   double min_time = 0.5;
   std::uint64_t txns = 20000;
   std::uint64_t sharded_txns = 8000;
+  std::uint64_t faulty_txns = 2000;
   bool shard_curve = false;
   for (int i = 1; i < argc; ++i) {
     std::string v;
@@ -385,7 +411,8 @@ int main(int argc, char** argv) {
     } else if (ParseFlag(a, "--out", &out_path) ||
                ParseFlag(a, "--baseline", &baseline_path) ||
                ParseFlag(a, "--scenario", &scenario_path) ||
-               ParseFlag(a, "--sharded-scenario", &sharded_path)) {
+               ParseFlag(a, "--sharded-scenario", &sharded_path) ||
+               ParseFlag(a, "--faulty-scenario", &faulty_path)) {
     } else if (ParseFlag(a, "--tolerance", &v)) {
       tolerance = std::strtod(v.c_str(), nullptr);
     } else if (ParseFlag(a, "--min-time", &v)) {
@@ -394,6 +421,8 @@ int main(int argc, char** argv) {
       txns = std::strtoull(v.c_str(), nullptr, 10);
     } else if (ParseFlag(a, "--sharded-txns", &v)) {
       sharded_txns = std::strtoull(v.c_str(), nullptr, 10);
+    } else if (ParseFlag(a, "--faulty-txns", &v)) {
+      faulty_txns = std::strtoull(v.c_str(), nullptr, 10);
     } else {
       std::fprintf(stderr, "unknown flag '%s' (try --help)\n", a);
       return 2;
@@ -417,6 +446,10 @@ int main(int argc, char** argv) {
   kernels.push_back(KernelScenarioRun("sharded_run", /*stream=*/false,
                                       sharded_path, sharded_txns,
                                       &sharded_digest, &ok));
+  std::uint64_t faulty_digest = 0;
+  kernels.push_back(KernelScenarioRun("faulty_run", /*stream=*/false,
+                                      faulty_path, faulty_txns,
+                                      &faulty_digest, &ok));
 
   std::printf("%-18s %14s  %s\n", "kernel", "items/sec", "unit");
   for (const KernelResult& k : kernels) {
@@ -429,6 +462,8 @@ int main(int argc, char** argv) {
               static_cast<unsigned long long>(stream_digest));
   std::printf("sharded_digest     %016llx\n",
               static_cast<unsigned long long>(sharded_digest));
+  std::printf("faulty_digest      %016llx\n",
+              static_cast<unsigned long long>(faulty_digest));
 
   // The 1/2/4/8-shard scaling curve on the partitioned macro scenario.
   // Informational, never gated: wall-clock speedup depends on the number
@@ -472,6 +507,9 @@ int main(int argc, char** argv) {
     std::printf("\n%-18s %14s %14s %7s\n", "kernel", "baseline", "current",
                 "ratio");
     for (const KernelResult& k : kernels) {
+      // The faulty kernel's wall-clock rate is informational only; its
+      // results are still pinned exactly by faulty_digest below.
+      if (k.name == "faulty_run") continue;
       for (const KernelResult& b : base.kernels) {
         if (b.name != k.name) continue;
         const double ratio =
@@ -510,13 +548,23 @@ int main(int argc, char** argv) {
                    static_cast<unsigned long long>(sharded_digest));
       ok = false;
     }
+    if (base.has_faulty_digest && base.faulty_digest != faulty_digest) {
+      std::fprintf(stderr,
+                   "perf_gate: FAIL faulty digest changed "
+                   "(%016llx -> %016llx): the seeded fault schedule or "
+                   "the recovery machinery diverged from the baseline "
+                   "build\n",
+                   static_cast<unsigned long long>(base.faulty_digest),
+                   static_cast<unsigned long long>(faulty_digest));
+      ok = false;
+    }
   }
 
   // Written even when the gate fails: CI uploads the measured numbers as
   // an artifact precisely so a failing run can be diagnosed.
   if (!out_path.empty()) {
     WriteReport(out_path, kernels, digest, stream_digest, sharded_digest,
-                scenario_path, sharded_path);
+                faulty_digest, scenario_path, sharded_path, faulty_path);
   }
   return ok ? 0 : 1;
 }

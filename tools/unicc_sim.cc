@@ -53,6 +53,8 @@ struct Flags {
   bool unified = true;
   std::uint64_t seed = 42;
   bool seed_set = false;
+  std::uint64_t fault_seed = 0;
+  bool fault_seed_set = false;
   bool verbose = false;
   std::string scenario;      // --scenario=FILE
   std::string record_trace;  // --record-trace=FILE
@@ -98,6 +100,11 @@ void PrintHelp() {
       "  --pure              pure per-protocol backend (needs fixed policy)\n"
       "  --seed=<n>          RNG seed (42); also overrides the scenario's\n"
       "                      [engine] seed\n"
+      "  --fault-seed=<n>    seed of the [fault]/[topology] schedule;\n"
+      "                      overrides the scenario's [fault] seed (0\n"
+      "                      re-derives one from the engine seed). A fixed\n"
+      "                      value replays the same loss/duplication/\n"
+      "                      reorder schedule bit-for-bit\n"
       "  --record-trace=<file>  write the admitted workload as a trace\n"
       "                      (binary when the name ends in .bin, else text)\n"
       "  --replay-trace=<file>  read the workload from a recorded trace\n"
@@ -213,6 +220,9 @@ int main(int argc, char** argv) {
     } else if (ParseFlag(a, "--seed", &v)) {
       flags.seed = std::strtoull(v.c_str(), nullptr, 10);
       flags.seed_set = true;
+    } else if (ParseFlag(a, "--fault-seed", &v)) {
+      flags.fault_seed = std::strtoull(v.c_str(), nullptr, 10);
+      flags.fault_seed_set = true;
     } else {
       std::fprintf(stderr, "unknown flag '%s' (try --help)\n", a);
       return 2;
@@ -299,6 +309,7 @@ int main(int argc, char** argv) {
       return 2;
     }
   }
+  if (flags.fault_seed_set) eo.fault.seed = flags.fault_seed;
   // Timeline export: --window-ms overrides the scenario's [run] window;
   // requesting an export without any window defaults to 1s windows.
   if (flags.window_ms >= 0) {
