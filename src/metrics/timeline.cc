@@ -1,6 +1,9 @@
 #include "metrics/timeline.h"
 
+#include <algorithm>
 #include <cstdio>
+#include <ostream>
+#include <sstream>
 
 #include "common/check.h"
 
@@ -11,7 +14,9 @@ TimelineRecorder::TimelineRecorder(Duration window) : window_(window) {
 }
 
 TimelineRecorder::WindowStats& TimelineRecorder::At(SimTime t) {
-  const std::size_t idx = static_cast<std::size_t>(t / window_);
+  end_ = std::max(end_, t);
+  const std::size_t idx =
+      std::min(static_cast<std::size_t>(t / window_), kMaxWindows - 1);
   while (windows_.size() <= idx) {
     WindowStats w;
     w.start = static_cast<SimTime>(windows_.size()) * window_;
@@ -37,6 +42,7 @@ void TimelineRecorder::MergeFrom(const TimelineRecorder& other) {
   if (!other.windows_.empty()) {
     At(other.windows_.back().start);  // grow to cover the other's range
   }
+  end_ = std::max(end_, other.end_);
   for (std::size_t i = 0; i < other.windows_.size(); ++i) {
     WindowStats& dst = windows_[i];
     const WindowStats& src = other.windows_[i];
@@ -49,23 +55,35 @@ void TimelineRecorder::MergeFrom(const TimelineRecorder& other) {
   }
 }
 
-std::string TimelineRecorder::ExportCsv() const {
-  std::string out =
-      "window,start_ms,end_ms,committed,throughput_tps,mean_s_ms,p99_s_ms,"
-      "committed_2pl,committed_to,committed_pa,"
-      "restarts_2pl,restarts_to,restarts_pa\n";
-  const double window_sec =
-      static_cast<double>(window_) / static_cast<double>(kSecond);
+SimTime TimelineRecorder::WindowEnd(std::size_t i) const {
+  const SimTime full = windows_[i].start + window_;
+  if (i + 1 < windows_.size()) return full;
+  // Final window: clamp to the recorded end of run, so a run finishing
+  // mid-window doesn't report an end past the last event — but never to
+  // an empty interval (an event at exactly the window start still spans
+  // one microsecond).
+  return std::min(full, std::max(end_, windows_[i].start + 1));
+}
+
+void TimelineRecorder::WriteCsv(std::ostream& out) const {
+  out << "window,start_ms,end_ms,committed,throughput_tps,mean_s_ms,p99_s_ms,"
+         "committed_2pl,committed_to,committed_pa,"
+         "restarts_2pl,restarts_to,restarts_pa\n";
   char buf[256];
   for (std::size_t i = 0; i < windows_.size(); ++i) {
     const WindowStats& w = windows_[i];
+    const SimTime end = WindowEnd(i);
+    // Divide throughput by the window's *actual* span: the final partial
+    // window must not have its commits spread over time that never ran.
+    const double span_sec =
+        static_cast<double>(end - w.start) / static_cast<double>(kSecond);
     std::snprintf(
         buf, sizeof(buf),
         "%zu,%.3f,%.3f,%llu,%.3f,%.3f,%.3f,%llu,%llu,%llu,%llu,%llu,%llu\n",
         i, static_cast<double>(w.start) / kMillisecond,
-        static_cast<double>(w.start + window_) / kMillisecond,
+        static_cast<double>(end) / kMillisecond,
         static_cast<unsigned long long>(w.committed),
-        static_cast<double>(w.committed) / window_sec,
+        static_cast<double>(w.committed) / span_sec,
         w.system_time.MeanMs(), w.system_time.PercentileMs(99),
         static_cast<unsigned long long>(w.committed_by_proto[0]),
         static_cast<unsigned long long>(w.committed_by_proto[1]),
@@ -73,31 +91,32 @@ std::string TimelineRecorder::ExportCsv() const {
         static_cast<unsigned long long>(w.restarts_by_proto[0]),
         static_cast<unsigned long long>(w.restarts_by_proto[1]),
         static_cast<unsigned long long>(w.restarts_by_proto[2]));
-    out += buf;
+    out << buf;
   }
-  return out;
 }
 
-std::string TimelineRecorder::ExportJson() const {
-  std::string out = "{\n  \"window_ms\": ";
+void TimelineRecorder::WriteJson(std::ostream& out) const {
   char buf[256];
-  std::snprintf(buf, sizeof(buf), "%.3f",
+  std::snprintf(buf, sizeof(buf), "{\n  \"window_ms\": %.3f",
                 static_cast<double>(window_) / kMillisecond);
-  out += buf;
-  out += ",\n  \"windows\": [\n";
-  const double window_sec =
-      static_cast<double>(window_) / static_cast<double>(kSecond);
+  out << buf;
+  out << ",\n  \"windows\": [\n";
   for (std::size_t i = 0; i < windows_.size(); ++i) {
     const WindowStats& w = windows_[i];
+    const SimTime end = WindowEnd(i);
+    const double span_sec =
+        static_cast<double>(end - w.start) / static_cast<double>(kSecond);
     std::snprintf(
         buf, sizeof(buf),
-        "    {\"window\": %zu, \"start_ms\": %.3f, \"committed\": %llu, "
+        "    {\"window\": %zu, \"start_ms\": %.3f, \"end_ms\": %.3f, "
+        "\"committed\": %llu, "
         "\"throughput_tps\": %.3f, \"mean_s_ms\": %.3f, \"p99_s_ms\": %.3f, ",
         i, static_cast<double>(w.start) / kMillisecond,
+        static_cast<double>(end) / kMillisecond,
         static_cast<unsigned long long>(w.committed),
-        static_cast<double>(w.committed) / window_sec,
+        static_cast<double>(w.committed) / span_sec,
         w.system_time.MeanMs(), w.system_time.PercentileMs(99));
-    out += buf;
+    out << buf;
     std::snprintf(
         buf, sizeof(buf),
         "\"committed_by_protocol\": [%llu, %llu, %llu], "
@@ -109,10 +128,21 @@ std::string TimelineRecorder::ExportJson() const {
         static_cast<unsigned long long>(w.restarts_by_proto[1]),
         static_cast<unsigned long long>(w.restarts_by_proto[2]),
         i + 1 == windows_.size() ? "" : ",");
-    out += buf;
+    out << buf;
   }
-  out += "  ]\n}\n";
-  return out;
+  out << "  ]\n}\n";
+}
+
+std::string TimelineRecorder::ExportCsv() const {
+  std::ostringstream out;
+  WriteCsv(out);
+  return out.str();
+}
+
+std::string TimelineRecorder::ExportJson() const {
+  std::ostringstream out;
+  WriteJson(out);
+  return out.str();
 }
 
 }  // namespace unicc

@@ -14,6 +14,7 @@
 
 #include <array>
 #include <cstdint>
+#include <iosfwd>
 #include <string>
 #include <vector>
 
@@ -25,6 +26,12 @@ namespace unicc {
 
 class TimelineRecorder {
  public:
+  // Hard cap on materialized windows: one corrupt or far-future event
+  // time must not make At() allocate t/window_ empty windows. Events past
+  // the cap are bucketed into the last window (and still move the
+  // recorded end of run).
+  static constexpr std::size_t kMaxWindows = 1 << 16;
+
   explicit TimelineRecorder(Duration window);
 
   // Buckets by r.commit. Event times must be nondecreasing overall only in
@@ -47,23 +54,37 @@ class TimelineRecorder {
   void MergeFrom(const TimelineRecorder& other);
 
   Duration window() const { return window_; }
+  // Latest event time seen; the recorded end of run. The final window is
+  // usually partial, so exports clamp its end (and throughput divisor) to
+  // this instead of the full window length.
+  SimTime end() const { return end_; }
   // Windows from t=0 through the last one that saw an event; interior
   // windows with no events are present (all-zero).
   std::size_t NumWindows() const { return windows_.size(); }
   const WindowStats& Window(std::size_t i) const { return windows_[i]; }
+  // Exclusive end of window i: start + window length, clamped to the
+  // recorded end of run for the final window.
+  SimTime WindowEnd(std::size_t i) const;
 
+  // Streaming writers: one row/object per window straight to the sink,
+  // so exporting a long run never builds the whole document in memory.
   // One row per window. Columns:
   //   window,start_ms,end_ms,committed,throughput_tps,mean_s_ms,p99_s_ms,
   //   committed_2pl,committed_to,committed_pa,
   //   restarts_2pl,restarts_to,restarts_pa
-  std::string ExportCsv() const;
+  void WriteCsv(std::ostream& out) const;
   // {"window_ms": W, "windows": [{...}, ...]} with the same fields.
+  void WriteJson(std::ostream& out) const;
+
+  // In-memory convenience wrappers over the streaming writers.
+  std::string ExportCsv() const;
   std::string ExportJson() const;
 
  private:
   WindowStats& At(SimTime t);
 
   Duration window_;
+  SimTime end_ = 0;
   std::vector<WindowStats> windows_;
 };
 

@@ -119,13 +119,19 @@ StatusOr<std::unique_ptr<RunSession>> RunSession::Create(RunRequest request) {
   if (request.spec == nullptr) {
     return Status::InvalidArgument("RunRequest needs a scenario spec");
   }
-  if (request.arrivals == nullptr && request.forced != nullptr) {
+  if (request.arrivals != nullptr && request.arrival_stream != nullptr) {
+    return Status::InvalidArgument(
+        "replay arrivals and a replay stream are mutually exclusive");
+  }
+  if (request.arrivals == nullptr && request.arrival_stream == nullptr &&
+      request.forced != nullptr) {
     return Status::InvalidArgument(
         "a forced-protocol set only makes sense with replay arrivals");
   }
   auto session = std::unique_ptr<RunSession>(new RunSession(std::move(request)));
   if (Status s = session->spec_.engine.Validate(); !s.ok()) return s;
   if (session->sharded_ && session->request_.arrivals == nullptr &&
+      session->request_.arrival_stream == nullptr &&
       session->spec_.IsOpenSystem()) {
     return Status::InvalidArgument(
         "sharded runs are batch-only: open-system (streaming-admission) "
@@ -193,7 +199,16 @@ RunReport RunSession::Run() {
   const std::vector<WorkloadGenerator::Arrival>* arrivals = request_.arrivals;
   ScenarioSpec::Workload built;
   std::unique_ptr<ArrivalStream> stream;
-  if (arrivals != nullptr) {
+  if (request_.arrival_stream != nullptr) {
+    forced_ = request_.forced;
+    if (sharded_) {
+      // Sharded runs are batch-only; materialize the replayed schedule.
+      built.arrivals = DrainStream(*request_.arrival_stream);
+      arrivals = &built.arrivals;
+    } else {
+      stream = std::move(request_.arrival_stream);
+    }
+  } else if (arrivals != nullptr) {
     forced_ = request_.forced;
   } else if (spec_.IsOpenSystem()) {
     ScenarioSpec::OpenWorkload ow = spec_.Open();

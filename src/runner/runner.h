@@ -27,6 +27,7 @@
 #include "selector/selector.h"
 #include "stl/estimators.h"
 #include "workload/generator.h"
+#include "workload/stream.h"
 
 namespace unicc::runner {
 
@@ -69,6 +70,11 @@ struct RunRequest {
   // (the golden suite's record -> replay path). `forced` carries the
   // matching forced-protocol set.
   const std::vector<WorkloadGenerator::Arrival>* arrivals = nullptr;
+  // Streaming replay: pull arrivals from this stream instead (the UCTC v2
+  // trace-replay path — feeds streaming admission without materializing
+  // the run). Mutually exclusive with `arrivals`; `forced` applies to
+  // either. Sharded runs are batch-only, so they drain the stream first.
+  std::unique_ptr<ArrivalStream> arrival_stream;
   std::shared_ptr<const std::unordered_set<TxnId>> forced;
 
   // Test knob: drive shards = 1 through the sharded window coordinator

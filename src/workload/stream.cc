@@ -36,4 +36,15 @@ std::vector<Arrival> DrainStream(ArrivalStream& stream, std::size_t max) {
   return out;
 }
 
+std::uint64_t PumpStream(ArrivalStream& stream,
+                         const std::function<void(const Arrival&)>& fn) {
+  std::uint64_t pumped = 0;
+  Arrival a;
+  while (stream.Next(&a)) {
+    fn(a);
+    ++pumped;
+  }
+  return pumped;
+}
+
 }  // namespace unicc

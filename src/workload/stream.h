@@ -6,6 +6,8 @@
 #ifndef UNICC_WORKLOAD_STREAM_H_
 #define UNICC_WORKLOAD_STREAM_H_
 
+#include <cstdint>
+#include <functional>
 #include <memory>
 #include <vector>
 
@@ -42,6 +44,12 @@ std::unique_ptr<ArrivalStream> MakeVectorStream(std::vector<Arrival> arrivals);
 // against unbounded streams).
 std::vector<Arrival> DrainStream(ArrivalStream& stream,
                                  std::size_t max = 1u << 24);
+
+// Pulls every arrival out of `stream` and hands it to `fn`; returns the
+// number pumped. The streaming record path (generator -> trace writer)
+// with O(1) memory — no cap, the producing stream bounds the run.
+std::uint64_t PumpStream(ArrivalStream& stream,
+                         const std::function<void(const Arrival&)>& fn);
 
 }  // namespace unicc
 

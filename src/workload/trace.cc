@@ -6,6 +6,8 @@
 #include <ios>
 #include <sstream>
 
+#include "workload/trace_io.h"
+
 namespace unicc {
 
 namespace {
@@ -21,6 +23,22 @@ void AppendLe(std::string* out, std::uint64_t v, int bytes) {
   for (int i = 0; i < bytes; ++i) {
     out->push_back(static_cast<char>((v >> (8 * i)) & 0xff));
   }
+}
+
+// Strict decimal-u32 parse for item-id tokens. std::stoul would accept a
+// leading '-' (wrapping through unsigned long) and values past 2^32-1
+// (silently truncated by the ItemId cast), so a text trace could
+// round-trip *different* items instead of failing.
+bool ParseItemToken(const std::string& token, ItemId* out) {
+  if (token.empty()) return false;
+  std::uint64_t value = 0;
+  for (char c : token) {
+    if (c < '0' || c > '9') return false;
+    value = value * 10 + static_cast<std::uint64_t>(c - '0');
+    if (value > 0xffffffffULL) return false;
+  }
+  *out = static_cast<ItemId>(value);
+  return true;
 }
 
 // Reads `bytes` little-endian bytes at *pos, advancing it. Returns false
@@ -115,9 +133,7 @@ StatusOr<std::vector<WorkloadGenerator::Arrival>> WorkloadTrace::Parse(
         continue;
       }
       ItemId item = 0;
-      try {
-        item = static_cast<ItemId>(std::stoul(token));
-      } catch (...) {
+      if (!ParseItemToken(token, &item)) {
         return Status::InvalidArgument("trace line " +
                                        std::to_string(lineno) +
                                        ": bad item '" + token + "'");
@@ -300,9 +316,26 @@ StatusOr<std::vector<WorkloadGenerator::Arrival>> WorkloadTrace::ReadFile(
     const std::string& path) {
   std::ifstream in(path, std::ios::binary);
   if (!in) return Status::NotFound("cannot open " + path);
-  std::stringstream buffer;
-  buffer << in.rdbuf();
-  const std::string content = buffer.str();
+  // Sniff the magic first: v2 traces stream block-by-block through
+  // TraceReader and must not be loaded whole.
+  char magic[4] = {};
+  in.read(magic, sizeof(magic));
+  const std::streamsize sniffed = in.gcount();
+  if (LooksLikeTraceV2(magic, static_cast<std::size_t>(sniffed))) {
+    return ReadTraceV2File(path);
+  }
+  // v1/text: read once straight into the parse buffer. The previous
+  // stringstream-then-copy staging held two full copies of the trace at
+  // peak, doubling RSS on large files.
+  in.clear();
+  in.seekg(0, std::ios::end);
+  const std::streamoff size = in.tellg();
+  if (size < 0) return Status::Internal("cannot stat " + path);
+  in.seekg(0, std::ios::beg);
+  std::string content;
+  content.resize(static_cast<std::size_t>(size));
+  in.read(content.data(), size);
+  if (in.gcount() != size) return Status::Internal("read failed: " + path);
   if (content.size() >= sizeof(kBinaryMagic) &&
       std::memcmp(content.data(), kBinaryMagic, sizeof(kBinaryMagic)) == 0) {
     return ParseBinary(content);

@@ -12,6 +12,10 @@
 //    still reading old traces.
 //  - CSV export (analysis-friendly, write-only): one row per transaction
 //    with ';'-separated access sets, for spreadsheets/pandas.
+//
+// The streaming columnar "UCTC" v2 format lives in workload/trace_io.h;
+// ReadFile sniffs its magic and routes v2 files through the streaming
+// reader, so all three on-disk encodings load through one entry point.
 #ifndef UNICC_WORKLOAD_TRACE_H_
 #define UNICC_WORKLOAD_TRACE_H_
 
@@ -52,7 +56,8 @@ class WorkloadTrace {
       const std::vector<WorkloadGenerator::Arrival>& arrivals);
 
   // Convenience file helpers. WriteFile emits text; WriteBinaryFile emits
-  // the binary format; ReadFile sniffs the magic and accepts either.
+  // the v1 binary format; ReadFile sniffs the magic and accepts text,
+  // UCTB v1, or UCTC v2 (the latter via the streaming reader).
   static Status WriteFile(
       const std::string& path,
       const std::vector<WorkloadGenerator::Arrival>& arrivals);

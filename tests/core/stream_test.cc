@@ -62,6 +62,20 @@ TEST(DrainStreamTest, DrainsEverythingAndHonorsCap) {
   EXPECT_EQ(a.spec.id, 3u);
 }
 
+TEST(PumpStreamTest, VisitsEveryArrivalInOrderWithoutMaterializing) {
+  auto stream = MakeVectorStream(ThreeArrivals());
+  std::vector<TxnId> seen;
+  const std::uint64_t pumped =
+      PumpStream(*stream, [&seen](const Arrival& a) {
+        seen.push_back(a.spec.id);
+      });
+  EXPECT_EQ(pumped, 3u);
+  EXPECT_EQ(seen, (std::vector<TxnId>{1, 2, 3}));
+  // The stream is drained: PumpStream consumed it to exhaustion.
+  Arrival a;
+  EXPECT_FALSE(stream->Next(&a));
+}
+
 TEST(GeneratorStreamTest, MatchesBatchGeneratorDrawForDraw) {
   WorkloadOptions wo;
   wo.arrival_rate_per_sec = 50;

@@ -5,6 +5,8 @@
 
 #include <gtest/gtest.h>
 
+#include <limits>
+#include <sstream>
 #include <string>
 
 namespace unicc {
@@ -91,8 +93,67 @@ TEST(TimelineTest, JsonExportsEveryWindow) {
             std::string::npos);
   // Three windows; the middle one is an explicit zero row.
   EXPECT_NE(json.find("{\"window\": 1, \"start_ms\": 0.500, "
-                      "\"committed\": 0"),
+                      "\"end_ms\": 1.000, \"committed\": 0"),
             std::string::npos);
+}
+
+TEST(TimelineTest, FinalWindowClampsToTheRecordedEnd) {
+  TimelineRecorder tl(1000 * kMillisecond);
+  tl.OnCommit(At(500 * kMillisecond, 50));
+  tl.OnCommit(At(2200 * kMillisecond, 50));
+  EXPECT_EQ(tl.end(), 2200 * kMillisecond);
+  EXPECT_EQ(tl.WindowEnd(0), 1000 * kMillisecond);  // interior: full length
+  EXPECT_EQ(tl.WindowEnd(2), 2200 * kMillisecond);  // final: run end
+  // The one commit is spread over the 200ms the final window actually
+  // spans (5 tps), not over the 800ms that never ran.
+  const std::string csv = tl.ExportCsv();
+  EXPECT_NE(csv.find("2,2000.000,2200.000,1,5.000"), std::string::npos);
+  const std::string json = tl.ExportJson();
+  EXPECT_NE(json.find("\"end_ms\": 2200.000, \"committed\": 1, "
+                      "\"throughput_tps\": 5.000"),
+            std::string::npos);
+}
+
+TEST(TimelineTest, EventAtTheWindowStartStillSpansAMicrosecond) {
+  TimelineRecorder tl(1000);
+  tl.OnCommit(At(1000, 10));
+  // end == the window start; the clamp must not produce an empty interval
+  // (and with it an infinite throughput).
+  EXPECT_EQ(tl.WindowEnd(1), 1001u);
+}
+
+TEST(TimelineTest, FarFutureEventIsBoundedByMaxWindows) {
+  // One corrupt or far-future timestamp must not make the recorder
+  // allocate t/window windows; it lands in the last representable window
+  // and still moves the recorded end of run.
+  TimelineRecorder tl(1);
+  tl.OnRestart(std::numeric_limits<SimTime>::max() / 2,
+               Protocol::kTimestampOrdering);
+  ASSERT_EQ(tl.NumWindows(), TimelineRecorder::kMaxWindows);
+  EXPECT_EQ(tl.Window(tl.NumWindows() - 1).restarts_by_proto[1], 1u);
+  EXPECT_EQ(tl.end(), std::numeric_limits<SimTime>::max() / 2);
+}
+
+TEST(TimelineTest, StreamWritersMatchExportWrappers) {
+  TimelineRecorder tl(1000);
+  tl.OnCommit(At(100, 50));
+  tl.OnRestart(1500, Protocol::kPrecedenceAgreement);
+  std::ostringstream csv, json;
+  tl.WriteCsv(csv);
+  tl.WriteJson(json);
+  EXPECT_EQ(csv.str(), tl.ExportCsv());
+  EXPECT_EQ(json.str(), tl.ExportJson());
+}
+
+TEST(TimelineTest, MergePropagatesTheLatestEnd) {
+  TimelineRecorder a(1000), b(1000);
+  a.OnCommit(At(500, 10));
+  b.OnCommit(At(2500, 10));
+  a.MergeFrom(b);
+  EXPECT_EQ(a.end(), 2500u);
+  ASSERT_EQ(a.NumWindows(), 3u);
+  EXPECT_EQ(a.Window(2).committed, 1u);
+  EXPECT_EQ(a.WindowEnd(2), 2500u);
 }
 
 TEST(TimelineTest, EmptyRecorderExportsHeaderOnly) {

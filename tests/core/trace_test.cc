@@ -69,6 +69,22 @@ TEST(WorkloadTraceTest, RejectsMalformedInput) {
   EXPECT_FALSE(WorkloadTrace::Parse("txn 1 0 0 2pl 0 0 r 1 w 1\n").ok());
 }
 
+TEST(WorkloadTraceTest, RejectsSignedAndOverflowingItemTokens) {
+  // std::stoul would quietly take all of these: "-1" wraps to 2^32-1,
+  // "+5" parses as 5, and 2^32 truncates to 0 on conversion. The parser
+  // must reject them while still accepting the full unsigned 32-bit range.
+  EXPECT_FALSE(WorkloadTrace::Parse("txn 1 0 0 2pl 0 0 r -1 w 2\n").ok());
+  EXPECT_FALSE(WorkloadTrace::Parse("txn 1 0 0 2pl 0 0 r 1 w +5\n").ok());
+  EXPECT_FALSE(
+      WorkloadTrace::Parse("txn 1 0 0 2pl 0 0 r 4294967296 w 2\n").ok());
+  EXPECT_FALSE(
+      WorkloadTrace::Parse("txn 1 0 0 2pl 0 0 r 18446744073709551617 w 2\n")
+          .ok());
+  auto parsed = WorkloadTrace::Parse("txn 1 0 0 2pl 0 0 r 4294967295 w 2\n");
+  ASSERT_TRUE(parsed.ok()) << parsed.status().ToString();
+  EXPECT_EQ((*parsed)[0].spec.read_set, (std::vector<ItemId>{4294967295u}));
+}
+
 TEST(WorkloadTraceTest, FileRoundTrip) {
   const auto original = SampleArrivals();
   const std::string path = ::testing::TempDir() + "/unicc_trace_test.txt";

@@ -10,6 +10,7 @@
 #include "engine/builder.h"
 #include "runner/runner.h"
 #include "scenario/scenario.h"
+#include "workload/stream.h"
 
 namespace unicc {
 namespace {
@@ -71,6 +72,68 @@ TEST(RunSessionTest, RejectsShardedOpenSystemRun) {
   auto session = RunSession::Create(std::move(request));
   ASSERT_FALSE(session.ok());
   EXPECT_EQ(session.status().code(), StatusCode::kInvalidArgument);
+}
+
+TEST(RunSessionTest, RejectsArrivalsAndStreamTogether) {
+  const ScenarioSpec spec = SmallSpec();
+  const ScenarioSpec::Workload wl = spec.BuildWorkload();
+  RunRequest request;
+  request.spec = &spec;
+  request.arrivals = &wl.arrivals;
+  request.arrival_stream = MakeVectorStream(wl.arrivals);
+  request.forced = wl.forced;
+  auto session = RunSession::Create(std::move(request));
+  ASSERT_FALSE(session.ok());
+  EXPECT_EQ(session.status().code(), StatusCode::kInvalidArgument);
+}
+
+TEST(RunSessionTest, StreamReplayMatchesBatchReplay) {
+  // The UCTC v2 replay path hands the runner an ArrivalStream instead of
+  // a materialized vector; the classic engine admits from it streamingly
+  // and must land on the exact same run.
+  const ScenarioSpec spec = SmallSpec();
+  const ScenarioSpec::Workload wl = spec.BuildWorkload();
+
+  RunRequest batch;
+  batch.spec = &spec;
+  batch.arrivals = &wl.arrivals;
+  batch.forced = wl.forced;
+  auto sb = RunSession::Create(std::move(batch));
+  ASSERT_TRUE(sb.ok()) << sb.status().ToString();
+  const auto rb = (*sb)->Run();
+
+  RunRequest stream;
+  stream.spec = &spec;
+  stream.arrival_stream = MakeVectorStream(wl.arrivals);
+  stream.forced = wl.forced;
+  auto ss = RunSession::Create(std::move(stream));
+  ASSERT_TRUE(ss.ok()) << ss.status().ToString();
+  const auto rs = (*ss)->Run();
+
+  EXPECT_EQ(rb.stats.committed, rs.stats.committed);
+  EXPECT_EQ(rb.stats.admitted, rs.stats.admitted);
+  EXPECT_EQ(rb.stats.makespan, rs.stats.makespan);
+  EXPECT_EQ(rb.stats.total_messages, rs.stats.total_messages);
+  EXPECT_EQ(rb.events_run, rs.events_run);
+  EXPECT_TRUE(rs.stats.serializable);
+}
+
+TEST(RunSessionTest, ShardedRunDrainsTheReplayStream) {
+  // Sharded runs are batch-only; a replay stream is drained up front and
+  // partitioned like a materialized workload.
+  const ScenarioSpec spec = SmallSpec();
+  const ScenarioSpec::Workload wl = spec.BuildWorkload();
+  RunRequest request;
+  request.spec = &spec;
+  request.shards = 2;
+  request.arrival_stream = MakeVectorStream(wl.arrivals);
+  request.forced = wl.forced;
+  auto session = RunSession::Create(std::move(request));
+  ASSERT_TRUE(session.ok()) << session.status().ToString();
+  const auto report = (*session)->Run();
+  EXPECT_EQ(report.shards, 2u);
+  EXPECT_EQ(report.stats.committed, 40u);
+  EXPECT_TRUE(report.stats.serializable);
 }
 
 TEST(RunSessionTest, SeedOverrideChangesResults) {

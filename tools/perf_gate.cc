@@ -25,6 +25,14 @@
 //                      The wall-clock rate is informational (never
 //                      gated); its exact digest, faulty_digest, pins the
 //                      fault schedule and the recovery machinery
+//   trace_write        UCTC v2 block-columnar trace encode, MB/sec
+//   trace_replay       UCTC v2 block decode through the ArrivalStream
+//                      reader, MB/sec; the exact round-trip digest,
+//                      trace_digest, pins bit-identical record -> replay
+//
+// --trace-roundtrip=N runs a streaming generator -> writer -> reader
+// round trip of N transactions through an on-disk v2 file (bounded
+// memory, any N) and exits; CI runs 10^6 on every push and 10^8 nightly.
 //
 // Wall-clock rates are machine-dependent, so the gate uses a tolerance
 // band (default: fail below 0.5x baseline) — wide enough for runner
@@ -39,6 +47,7 @@
 #include <cstdio>
 #include <cstdlib>
 #include <cstring>
+#include <sstream>
 #include <string>
 #include <vector>
 
@@ -50,6 +59,8 @@
 #include "scenario/scenario.h"
 #include "sim/simulator.h"
 #include "storage/log.h"
+#include "workload/generator.h"
+#include "workload/trace_io.h"
 
 namespace {
 
@@ -169,6 +180,196 @@ KernelResult KernelQmGrantRelease(double min_seconds) {
   return r;
 }
 
+// ---------------------------------------------------------------------------
+// Trace I/O kernels (UCTC v2 codec throughput + exact round-trip digest)
+// ---------------------------------------------------------------------------
+
+// Deterministic workload for the trace kernels; fixed seed and parameters
+// so the round-trip digest is machine-independent.
+std::vector<Arrival> MakeTraceWorkload(std::uint64_t n) {
+  WorkloadOptions wo;
+  wo.arrival_rate_per_sec = 1000;
+  wo.num_txns = n;
+  wo.size_min = 4;
+  wo.size_max = 8;
+  wo.read_fraction = 0.5;
+  WorkloadGenerator gen(wo, /*num_items=*/100000, /*num_user_sites=*/8,
+                        Rng(0x7ace));
+  return gen.Generate();
+}
+
+// Encodes `arrivals` through the block writer into an in-memory sink (the
+// kernels measure codec throughput, not disk).
+std::string EncodeTraceV2(const std::vector<Arrival>& arrivals, bool* ok) {
+  std::ostringstream sink;
+  auto writer = TraceWriter::ToStream(&sink);
+  if (!writer.ok()) {
+    std::fprintf(stderr, "perf_gate: trace encode failed: %s\n",
+                 writer.status().ToString().c_str());
+    *ok = false;
+    return std::string();
+  }
+  Status s;
+  for (const Arrival& a : arrivals) {
+    if (s = (*writer)->Append(a); !s.ok()) break;
+  }
+  if (s.ok()) s = (*writer)->Finish();
+  if (!s.ok()) {
+    std::fprintf(stderr, "perf_gate: trace encode failed: %s\n",
+                 s.ToString().c_str());
+    *ok = false;
+    return std::string();
+  }
+  return std::move(sink).str();
+}
+
+KernelResult KernelTraceWrite(double min_seconds,
+                              const std::vector<Arrival>& arrivals,
+                              double encoded_mb, bool* ok) {
+  KernelResult r;
+  r.name = "trace_write";
+  r.items = "MB";
+  r.items_per_sec = MeasureRate(
+      [&arrivals, encoded_mb, ok] {
+        bool enc_ok = true;
+        EncodeTraceV2(arrivals, &enc_ok);
+        if (!enc_ok) *ok = false;
+        return encoded_mb;
+      },
+      min_seconds);
+  return r;
+}
+
+KernelResult KernelTraceReplay(double min_seconds, const std::string& bytes,
+                               std::uint64_t write_digest,
+                               std::uint64_t* trace_digest, bool* ok) {
+  KernelResult r;
+  r.name = "trace_replay";
+  r.items = "MB";
+  const double mb = static_cast<double>(bytes.size()) / 1e6;
+  std::istringstream in(bytes);
+  // Verified pass before timing anything: decode everything, fold the
+  // reader-side digest, and require an exact round trip.
+  {
+    auto reader = TraceReader::FromStream(&in);
+    if (!reader.ok()) {
+      std::fprintf(stderr, "perf_gate: trace decode failed: %s\n",
+                   reader.status().ToString().c_str());
+      *ok = false;
+      return r;
+    }
+    std::uint64_t d = kTraceDigestSeed;
+    Arrival a;
+    while ((*reader)->Next(&a)) d = FoldArrivalDigest(d, a);
+    if (!(*reader)->status().ok()) {
+      std::fprintf(stderr, "perf_gate: trace decode failed: %s\n",
+                   (*reader)->status().ToString().c_str());
+      *ok = false;
+      return r;
+    }
+    if (d != write_digest) {
+      std::fprintf(stderr,
+                   "perf_gate: FAIL trace round trip is not bit-identical "
+                   "(%016llx -> %016llx)\n",
+                   static_cast<unsigned long long>(write_digest),
+                   static_cast<unsigned long long>(d));
+      *ok = false;
+    }
+    *trace_digest = d;
+  }
+  r.items_per_sec = MeasureRate(
+      [&in, mb, ok] {
+        in.clear();
+        in.seekg(0);
+        auto reader = TraceReader::FromStream(&in);
+        if (!reader.ok()) {
+          *ok = false;
+          return mb;
+        }
+        Arrival a;
+        while ((*reader)->Next(&a)) {
+        }
+        if (!(*reader)->status().ok()) *ok = false;
+        return mb;
+      },
+      min_seconds);
+  return r;
+}
+
+// Streaming generator -> on-disk writer -> reader round trip of `n`
+// transactions: memory stays bounded by one block at any n (the 10^8
+// nightly run writes ~7 GB without materializing anything), and the
+// writer- and reader-side digests must match exactly.
+int RunTraceRoundTrip(std::uint64_t n) {
+  const std::string path = "trace_roundtrip.uctc";
+  WorkloadOptions wo;
+  wo.arrival_rate_per_sec = 1000;
+  wo.num_txns = n;
+  wo.size_min = 4;
+  wo.size_max = 8;
+  wo.read_fraction = 0.5;
+  auto stream = MakeGeneratorStream(wo, /*num_items=*/100000,
+                                    /*num_user_sites=*/8, Rng(0x7ace));
+  auto writer = TraceWriter::Open(path);
+  if (!writer.ok()) {
+    std::fprintf(stderr, "perf_gate: %s\n",
+                 writer.status().ToString().c_str());
+    return 2;
+  }
+  std::uint64_t write_digest = kTraceDigestSeed;
+  Status s;
+  Arrival a;
+  const double w0 = NowSeconds();
+  while (stream->Next(&a)) {
+    write_digest = FoldArrivalDigest(write_digest, a);
+    if (s = (*writer)->Append(a); !s.ok()) break;
+  }
+  if (s.ok()) s = (*writer)->Finish();
+  const double w_elapsed = NowSeconds() - w0;
+  if (!s.ok()) {
+    std::fprintf(stderr, "perf_gate: trace write failed: %s\n",
+                 s.ToString().c_str());
+    return 1;
+  }
+  const double mb = static_cast<double>((*writer)->bytes_written()) / 1e6;
+  std::printf("trace_roundtrip: wrote %llu records (%.1f MB) at %.1f MB/s\n",
+              static_cast<unsigned long long>((*writer)->records()), mb,
+              mb / w_elapsed);
+
+  auto reader = TraceReader::Open(path);
+  if (!reader.ok()) {
+    std::fprintf(stderr, "perf_gate: %s\n",
+                 reader.status().ToString().c_str());
+    return 1;
+  }
+  std::uint64_t read_digest = kTraceDigestSeed;
+  const double r0 = NowSeconds();
+  while ((*reader)->Next(&a)) read_digest = FoldArrivalDigest(read_digest, a);
+  const double r_elapsed = NowSeconds() - r0;
+  std::remove(path.c_str());
+  if (!(*reader)->status().ok()) {
+    std::fprintf(stderr, "perf_gate: trace replay failed: %s\n",
+                 (*reader)->status().ToString().c_str());
+    return 1;
+  }
+  std::printf("trace_roundtrip: replayed %llu records at %.1f MB/s\n",
+              static_cast<unsigned long long>((*reader)->records_read()),
+              mb / r_elapsed);
+  if ((*reader)->records_read() != n || read_digest != write_digest) {
+    std::fprintf(stderr,
+                 "perf_gate: FAIL trace round trip is not bit-identical "
+                 "(%llu/%llu records, digest %016llx -> %016llx)\n",
+                 static_cast<unsigned long long>((*reader)->records_read()),
+                 static_cast<unsigned long long>(n),
+                 static_cast<unsigned long long>(write_digest),
+                 static_cast<unsigned long long>(read_digest));
+    return 1;
+  }
+  std::printf("trace_roundtrip: digest %016llx (round trip OK)\n",
+              static_cast<unsigned long long>(read_digest));
+  return 0;
+}
+
 // FNV-1a over the deterministic integer outcomes of a run: if this digest
 // moves, the optimization changed simulation results, not just its speed.
 std::uint64_t DigestStats(const bench::RunStats& s) {
@@ -246,7 +447,7 @@ void WriteReport(const std::string& path,
                  const std::vector<KernelResult>& kernels,
                  std::uint64_t digest, std::uint64_t stream_digest,
                  std::uint64_t sharded_digest, std::uint64_t faulty_digest,
-                 const std::string& scenario,
+                 std::uint64_t trace_digest, const std::string& scenario,
                  const std::string& sharded_scenario,
                  const std::string& faulty_scenario) {
   std::FILE* f = std::fopen(path.c_str(), "w");
@@ -264,13 +465,15 @@ void WriteReport(const std::string& path,
                "  \"stream_digest\": \"%016llx\",\n"
                "  \"sharded_digest\": \"%016llx\",\n"
                "  \"faulty_digest\": \"%016llx\",\n"
+               "  \"trace_digest\": \"%016llx\",\n"
                "  \"kernels\": [\n",
                scenario.c_str(), sharded_scenario.c_str(),
                faulty_scenario.c_str(),
                static_cast<unsigned long long>(digest),
                static_cast<unsigned long long>(stream_digest),
                static_cast<unsigned long long>(sharded_digest),
-               static_cast<unsigned long long>(faulty_digest));
+               static_cast<unsigned long long>(faulty_digest),
+               static_cast<unsigned long long>(trace_digest));
   for (std::size_t i = 0; i < kernels.size(); ++i) {
     std::fprintf(f,
                  "    {\"name\": \"%s\", \"items\": \"%s\", "
@@ -297,6 +500,8 @@ struct Baseline {
   bool has_sharded_digest = false;
   std::uint64_t faulty_digest = 0;
   bool has_faulty_digest = false;
+  std::uint64_t trace_digest = 0;
+  bool has_trace_digest = false;
 };
 
 bool LoadBaseline(const std::string& path, Baseline* out) {
@@ -330,6 +535,12 @@ bool LoadBaseline(const std::string& path, Baseline* out) {
     out->faulty_digest =
         std::strtoull(text.c_str() + p + fkey.size(), nullptr, 16);
     out->has_faulty_digest = true;
+  }
+  const std::string tkey = "\"trace_digest\": \"";
+  if (std::size_t p = text.find(tkey); p != std::string::npos) {
+    out->trace_digest =
+        std::strtoull(text.c_str() + p + tkey.size(), nullptr, 16);
+    out->has_trace_digest = true;
   }
   const std::string nkey = "\"name\": \"";
   const std::string vkey = "\"items_per_sec\": ";
@@ -372,6 +583,10 @@ void PrintHelp() {
       "                      (default scenarios/flaky_mesh.ini)\n"
       "  --faulty-txns=<n>   transaction count for the faulty kernel\n"
       "                      (default 2000)\n"
+      "  --trace-roundtrip=<n>  instead of the kernel suite, run a\n"
+      "                      bounded-memory generator -> v2 trace file ->\n"
+      "                      replay round trip of n transactions and exit\n"
+      "                      (0 on a bit-identical round trip)\n"
       "  --shard-curve       also run the sharded scenario at 1/2/4/8\n"
       "                      shards and print the wall-clock scaling curve\n"
       "                      (not gated; see docs/performance.md)");
@@ -399,6 +614,7 @@ int main(int argc, char** argv) {
   std::uint64_t txns = 20000;
   std::uint64_t sharded_txns = 8000;
   std::uint64_t faulty_txns = 2000;
+  std::uint64_t trace_roundtrip = 0;
   bool shard_curve = false;
   for (int i = 1; i < argc; ++i) {
     std::string v;
@@ -423,11 +639,15 @@ int main(int argc, char** argv) {
       sharded_txns = std::strtoull(v.c_str(), nullptr, 10);
     } else if (ParseFlag(a, "--faulty-txns", &v)) {
       faulty_txns = std::strtoull(v.c_str(), nullptr, 10);
+    } else if (ParseFlag(a, "--trace-roundtrip", &v)) {
+      trace_roundtrip = std::strtoull(v.c_str(), nullptr, 10);
     } else {
       std::fprintf(stderr, "unknown flag '%s' (try --help)\n", a);
       return 2;
     }
   }
+
+  if (trace_roundtrip > 0) return RunTraceRoundTrip(trace_roundtrip);
 
   bool ok = true;
   bool arena_stable = true;
@@ -450,6 +670,21 @@ int main(int argc, char** argv) {
   kernels.push_back(KernelScenarioRun("faulty_run", /*stream=*/false,
                                       faulty_path, faulty_txns,
                                       &faulty_digest, &ok));
+  std::uint64_t trace_digest = 0;
+  {
+    const std::vector<Arrival> trace_wl = MakeTraceWorkload(50000);
+    std::uint64_t write_digest = kTraceDigestSeed;
+    for (const Arrival& a : trace_wl) {
+      write_digest = FoldArrivalDigest(write_digest, a);
+    }
+    bool enc_ok = true;
+    const std::string encoded = EncodeTraceV2(trace_wl, &enc_ok);
+    if (!enc_ok) ok = false;
+    const double encoded_mb = static_cast<double>(encoded.size()) / 1e6;
+    kernels.push_back(KernelTraceWrite(min_time, trace_wl, encoded_mb, &ok));
+    kernels.push_back(KernelTraceReplay(min_time, encoded, write_digest,
+                                        &trace_digest, &ok));
+  }
 
   std::printf("%-18s %14s  %s\n", "kernel", "items/sec", "unit");
   for (const KernelResult& k : kernels) {
@@ -464,6 +699,8 @@ int main(int argc, char** argv) {
               static_cast<unsigned long long>(sharded_digest));
   std::printf("faulty_digest      %016llx\n",
               static_cast<unsigned long long>(faulty_digest));
+  std::printf("trace_digest       %016llx\n",
+              static_cast<unsigned long long>(trace_digest));
 
   // The 1/2/4/8-shard scaling curve on the partitioned macro scenario.
   // Informational, never gated: wall-clock speedup depends on the number
@@ -558,13 +795,23 @@ int main(int argc, char** argv) {
                    static_cast<unsigned long long>(faulty_digest));
       ok = false;
     }
+    if (base.has_trace_digest && base.trace_digest != trace_digest) {
+      std::fprintf(stderr,
+                   "perf_gate: FAIL trace digest changed "
+                   "(%016llx -> %016llx): the v2 trace codec no longer "
+                   "round-trips the baseline workload bit-identically\n",
+                   static_cast<unsigned long long>(base.trace_digest),
+                   static_cast<unsigned long long>(trace_digest));
+      ok = false;
+    }
   }
 
   // Written even when the gate fails: CI uploads the measured numbers as
   // an artifact precisely so a failing run can be diagnosed.
   if (!out_path.empty()) {
     WriteReport(out_path, kernels, digest, stream_digest, sharded_digest,
-                faulty_digest, scenario_path, sharded_path, faulty_path);
+                faulty_digest, trace_digest, scenario_path, sharded_path,
+                faulty_path);
   }
   return ok ? 0 : 1;
 }

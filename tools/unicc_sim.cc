@@ -19,13 +19,17 @@
 #include <utility>
 #include <vector>
 
+#include <fstream>
+
 #include "engine/engine.h"
 #include "runner/runner.h"
 #include "scenario/ini.h"
 #include "scenario/scenario.h"
 #include "stl/estimators.h"
 #include "workload/generator.h"
+#include "workload/stream.h"
 #include "workload/trace.h"
+#include "workload/trace_io.h"
 
 namespace {
 
@@ -59,6 +63,7 @@ struct Flags {
   std::string scenario;      // --scenario=FILE
   std::string record_trace;  // --record-trace=FILE
   std::string replay_trace;  // --replay-trace=FILE
+  std::string trace_format = "v2";  // --trace-format=v1|v2
   std::string export_csv;    // --export-csv=FILE
   std::vector<std::string> sets;  // --set=SECTION.KEY=VALUE
   std::string timeline_csv;   // --timeline-csv=FILE
@@ -105,11 +110,16 @@ void PrintHelp() {
       "                      re-derives one from the engine seed). A fixed\n"
       "                      value replays the same loss/duplication/\n"
       "                      reorder schedule bit-for-bit\n"
-      "  --record-trace=<file>  write the admitted workload as a trace\n"
-      "                      (binary when the name ends in .bin, else text)\n"
+      "  --record-trace=<file>  write the workload as a trace; the\n"
+      "                      streaming columnar UCTC v2 format by default\n"
+      "                      (see --trace-format)\n"
       "  --replay-trace=<file>  read the workload from a recorded trace\n"
-      "                      (text or binary, auto-detected) instead of\n"
-      "                      generating it\n"
+      "                      (text, UCTB v1 or UCTC v2, auto-detected)\n"
+      "                      instead of generating it; v2 traces stream\n"
+      "                      block-by-block into admission\n"
+      "  --trace-format=v1|v2   format written by --record-trace (v2).\n"
+      "                      v1 keeps the legacy behavior: binary UCTB\n"
+      "                      when the name ends in .bin, else text\n"
       "  --export-csv=<file>    write the workload as CSV for analysis\n"
       "  --timeline-csv=<file>  write windowed time-series metrics as CSV\n"
       "  --timeline-json=<file> write windowed time-series metrics as JSON\n"
@@ -145,16 +155,34 @@ bool EndsWith(const std::string& s, const std::string& suffix) {
          s.compare(s.size() - suffix.size(), suffix.size(), suffix) == 0;
 }
 
-bool WriteTextFile(const std::string& path, const std::string& text,
-                   const char* what) {
-  std::FILE* f = std::fopen(path.c_str(), "w");
-  if (f == nullptr) {
+// Streams a timeline export straight to `path` (no whole-document string).
+bool WriteTimeline(const std::string& path, const TimelineRecorder& tl,
+                   bool json, const char* what) {
+  std::ofstream out(path);
+  if (!out) {
     std::fprintf(stderr, "%s: cannot open %s\n", what, path.c_str());
     return false;
   }
-  std::fwrite(text.data(), 1, text.size(), f);
-  std::fclose(f);
+  if (json) {
+    tl.WriteJson(out);
+  } else {
+    tl.WriteCsv(out);
+  }
+  out.flush();
+  if (!out.good()) {
+    std::fprintf(stderr, "%s: write failed for %s\n", what, path.c_str());
+    return false;
+  }
   return true;
+}
+
+// True when `path` starts with the UCTC v2 magic.
+bool IsTraceV2File(const std::string& path) {
+  std::ifstream in(path, std::ios::binary);
+  char magic[4] = {};
+  in.read(magic, sizeof(magic));
+  return in.gcount() == static_cast<std::streamsize>(sizeof(magic)) &&
+         LooksLikeTraceV2(magic, sizeof(magic));
 }
 
 }  // namespace
@@ -180,6 +208,7 @@ int main(int argc, char** argv) {
                ParseFlag(a, "--scenario", &flags.scenario) ||
                ParseFlag(a, "--record-trace", &flags.record_trace) ||
                ParseFlag(a, "--replay-trace", &flags.replay_trace) ||
+               ParseFlag(a, "--trace-format", &flags.trace_format) ||
                ParseFlag(a, "--export-csv", &flags.export_csv) ||
                ParseFlag(a, "--timeline-csv", &flags.timeline_csv) ||
                ParseFlag(a, "--timeline-json", &flags.timeline_json)) {
@@ -326,28 +355,58 @@ int main(int argc, char** argv) {
     return 2;
   }
 
+  if (flags.trace_format != "v1" && flags.trace_format != "v2") {
+    std::fprintf(stderr, "unknown --trace-format '%s' (v1 or v2)\n",
+                 flags.trace_format.c_str());
+    return 2;
+  }
+  const bool record_v2 = flags.trace_format == "v2";
+  const std::uint32_t effective_shards =
+      flags.shards != 0 ? flags.shards : eo.shards;
+
   // The workload: replayed from a trace, streamed lazily (a scenario with
   // [run] controls), built by the scenario, or drawn from the
   // flag-configured generator.
   std::vector<WorkloadGenerator::Arrival> arrivals;
   std::shared_ptr<std::unordered_set<TxnId>> forced;
+  std::unique_ptr<ArrivalStream> replay_stream;
+  TraceReader* replay_reader = nullptr;  // decode-status check post-run
   const bool open_run =
       from_scenario && scenario.IsOpenSystem() && flags.replay_trace.empty();
   if (open_run) {
-    // The session streams the workload itself. Recording / CSV export
-    // describe the workload definition, which the run controls may only
-    // partially admit; materialize them separately.
-    if (!flags.record_trace.empty() || !flags.export_csv.empty()) {
+    // The session streams the workload itself. CSV export (and a v1
+    // recording) describe the workload definition, which the run controls
+    // may only partially admit; those still materialize it. A v2
+    // recording streams generator -> writer below without materializing.
+    if (!flags.export_csv.empty() ||
+        (!flags.record_trace.empty() && !record_v2)) {
       arrivals = scenario.BuildWorkload().arrivals;
     }
   } else if (!flags.replay_trace.empty()) {
-    auto loaded = WorkloadTrace::ReadFile(flags.replay_trace);
-    if (!loaded.ok()) {
-      std::fprintf(stderr, "%s: %s\n", flags.replay_trace.c_str(),
-                   loaded.status().ToString().c_str());
-      return 2;
+    // A v2 trace replays as a stream feeding admission block-by-block.
+    // Materialize only when something needs the whole schedule up front:
+    // re-recording/exporting it, or a sharded (batch-only) run.
+    const bool stream_replay =
+        IsTraceV2File(flags.replay_trace) && flags.record_trace.empty() &&
+        flags.export_csv.empty() && effective_shards <= 1;
+    if (stream_replay) {
+      auto reader = TraceReader::Open(flags.replay_trace);
+      if (!reader.ok()) {
+        std::fprintf(stderr, "%s: %s\n", flags.replay_trace.c_str(),
+                     reader.status().ToString().c_str());
+        return 2;
+      }
+      replay_reader = reader->get();
+      replay_stream = std::move(reader).value();
+    } else {
+      auto loaded = WorkloadTrace::ReadFile(flags.replay_trace);
+      if (!loaded.ok()) {
+        std::fprintf(stderr, "%s: %s\n", flags.replay_trace.c_str(),
+                     loaded.status().ToString().c_str());
+        return 2;
+      }
+      arrivals = std::move(*loaded);
     }
-    arrivals = std::move(*loaded);
     if (from_scenario) {
       // The trace carries no class information; regenerate the scenario's
       // forced-protocol ids so replaying its own recording reproduces the
@@ -374,15 +433,34 @@ int main(int argc, char** argv) {
   }
 
   if (!flags.record_trace.empty()) {
-    const Status s =
-        EndsWith(flags.record_trace, ".bin")
-            ? WorkloadTrace::WriteBinaryFile(flags.record_trace, arrivals)
-            : WorkloadTrace::WriteFile(flags.record_trace, arrivals);
+    Status s;
+    std::uint64_t recorded = arrivals.size();
+    if (record_v2 && open_run && flags.export_csv.empty()) {
+      // Open-system v2 recording: stream the scenario's workload
+      // definition straight into the block writer, O(one block) memory.
+      auto writer = TraceWriter::Open(flags.record_trace);
+      if (!writer.ok()) {
+        s = writer.status();
+      } else {
+        ScenarioSpec::OpenWorkload ow = scenario.Open();
+        recorded = PumpStream(*ow.stream, [&](const Arrival& a) {
+          if (s.ok()) s = (*writer)->Append(a);
+        });
+        if (s.ok()) s = (*writer)->Finish();
+      }
+    } else if (record_v2) {
+      s = WriteTraceV2File(flags.record_trace, arrivals);
+    } else {
+      s = EndsWith(flags.record_trace, ".bin")
+              ? WorkloadTrace::WriteBinaryFile(flags.record_trace, arrivals)
+              : WorkloadTrace::WriteFile(flags.record_trace, arrivals);
+    }
     if (!s.ok()) {
       std::fprintf(stderr, "record-trace: %s\n", s.ToString().c_str());
       return 2;
     }
-    std::printf("recorded %zu arrivals to %s\n", arrivals.size(),
+    std::printf("recorded %llu arrivals to %s\n",
+                static_cast<unsigned long long>(recorded),
                 flags.record_trace.c_str());
   }
   if (!flags.export_csv.empty()) {
@@ -408,7 +486,11 @@ int main(int argc, char** argv) {
 
   runner::RunRequest request;
   request.spec = &run_spec;
-  if (!open_run) {
+  if (replay_stream != nullptr) {
+    // Streaming v2 replay: the session pulls arrivals block-by-block.
+    request.arrival_stream = std::move(replay_stream);
+    request.forced = forced;
+  } else if (!open_run) {
     // The workload was already materialized above (replay, recording or
     // batch build); hand it to the session verbatim.
     request.arrivals = &arrivals;
@@ -432,6 +514,13 @@ int main(int argc, char** argv) {
   }
 
   const runner::RunReport run_report = session->Run();
+  if (replay_reader != nullptr && !replay_reader->status().ok()) {
+    // The stream ends silently on corrupt input; surface the decode error
+    // instead of reporting a truncated run as a result.
+    std::fprintf(stderr, "replay-trace: %s\n",
+                 replay_reader->status().ToString().c_str());
+    return 2;
+  }
   const RunSummary& summary = run_report.summary;
   const runner::RunStats& stats = run_report.stats;
 
@@ -461,7 +550,7 @@ int main(int argc, char** argv) {
 
   if (const TimelineRecorder* tl = session->timeline(); tl != nullptr) {
     if (!flags.timeline_csv.empty()) {
-      if (!WriteTextFile(flags.timeline_csv, tl->ExportCsv(),
+      if (!WriteTimeline(flags.timeline_csv, *tl, /*json=*/false,
                          "timeline-csv")) {
         return 2;
       }
@@ -471,7 +560,7 @@ int main(int argc, char** argv) {
                   flags.timeline_csv.c_str());
     }
     if (!flags.timeline_json.empty()) {
-      if (!WriteTextFile(flags.timeline_json, tl->ExportJson(),
+      if (!WriteTimeline(flags.timeline_json, *tl, /*json=*/true,
                          "timeline-json")) {
         return 2;
       }
