@@ -305,6 +305,7 @@ void RequestIssuer::Commit(ActiveTxn& t) {
     result.attempts = t.attempts_total;
     result.backoffs = t.backoff_rounds;
     result.num_requests = t.reqs.size();
+    result.deadline = t.spec.deadline;
     ++commits_;
     const TxnId id = t.spec.id;
     lingering_.emplace(id, std::move(lg));
@@ -339,6 +340,7 @@ void RequestIssuer::Commit(ActiveTxn& t) {
   result.attempts = t.attempts_total;
   result.backoffs = t.backoff_rounds;
   result.num_requests = t.reqs.size();
+  result.deadline = t.spec.deadline;
   ++commits_;
   Recycle(t.spec.id);
   if (events_.on_commit) events_.on_commit(result);
@@ -421,6 +423,22 @@ void RequestIssuer::AbortAndRestart(ActiveTxn& t, TxnOutcome why,
     if (it == active_.end() || it->second.attempt != attempt) return;
     StartAttempt(it->second);
   });
+}
+
+bool RequestIssuer::Expire(TxnId txn) {
+  auto it = active_.find(txn);
+  if (it == active_.end()) return false;
+  ActiveTxn& t = it->second;
+  if (t.executing) return false;  // fully granted; let it finish
+  ReportLockHolds(t, /*aborted=*/true);
+  // Reliable aborts free the queue slots; in-flight replies of the dead
+  // incarnation hit FindActive == nullptr and are dropped.
+  for (const PhysReq& r : t.reqs) {
+    ctx_.transport->Send(site_, r.copy.site,
+                         msg::AbortTxn{t.spec.id, t.attempt, r.copy});
+  }
+  Recycle(txn);
+  return true;
 }
 
 void RequestIssuer::OnCrash(SimTime recover_at) {

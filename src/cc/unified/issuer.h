@@ -101,6 +101,14 @@ class RequestIssuer : public Issuer {
   // serializability.
   void OnCrash(SimTime recover_at);
 
+  // Deadline expiry (overload control): aborts `txn`'s current incarnation
+  // and removes it for good — unlike AbortAndRestart, no restart is
+  // scheduled. Returns false when the transaction is unknown (already
+  // committed) or executing (fully granted work is allowed to finish,
+  // mirroring the crash rule); the caller counts a true return as an
+  // `expired` outcome.
+  bool Expire(TxnId txn);
+
   bool IsActive(TxnId txn) const override;
   std::size_t ActiveCount() const override { return active_.size(); }
 

@@ -50,6 +50,40 @@ Status EngineOptions::Validate() const {
     return Status::InvalidArgument(
         "probe detection is pointless under pure T/O (no deadlocks)");
   }
+  if (run.shed_policy == ShedPolicy::kBlock) {
+    if (run.queue_limit > 0) {
+      return Status::InvalidArgument(
+          "[run] queue_limit needs a shedding policy (shed_policy = "
+          "drop_newest | drop_oldest | deadline); block parks at most one "
+          "arrival and ignores the bound");
+    }
+    if (run.retry_limit > 0) {
+      return Status::InvalidArgument(
+          "[run] retry_limit needs a shedding policy: nothing is ever "
+          "shed under block");
+    }
+  } else {
+    if (run.queue_limit == 0) {
+      return Status::InvalidArgument(
+          "[run] shed_policy != block needs queue_limit >= 1: the bounded "
+          "gate must hold at least one parked arrival");
+    }
+    if (run.max_inflight == 0) {
+      return Status::InvalidArgument(
+          "[run] shed_policy != block needs max_inflight > 0: without an "
+          "MPL cap nothing is ever parked or shed");
+    }
+  }
+  if (run.retry_limit > 0 && run.retry_delay == 0) {
+    return Status::InvalidArgument(
+        "[run] retry_limit > 0 needs retry_ms > 0: the re-submission "
+        "backoff base must be positive");
+  }
+  if (run.retry_max_delay != 0 && run.retry_max_delay < run.retry_delay) {
+    return Status::InvalidArgument(
+        "[run] retry_max_ms must be >= retry_ms (it caps the exponential "
+        "backoff)");
+  }
   return Status::OK();
 }
 

@@ -14,6 +14,7 @@
 #include "common/types.h"
 #include "deadlock/central_detector.h"
 #include "deadlock/probe_detector.h"
+#include "engine/admission.h"
 #include "net/fault_model.h"
 #include "net/transport.h"
 
@@ -96,8 +97,40 @@ struct EngineOptions {
     // transactions in flight waits at the admission gate and enters when
     // the next commit frees a slot.
     std::uint32_t max_inflight = 0;
+
+    // --- Overload control (streaming admission only) ---
+    // shed_policy != kBlock engages the bounded AdmissionGate: arrivals
+    // that find the MPL cap full are parked (up to queue_limit entries)
+    // and shed deterministically beyond that, instead of back-pressuring
+    // the arrival stream. kBlock is the exact pre-overload-control
+    // behavior. With the gate engaged, per-class deadlines (TxnSpec::
+    // deadline) are enforced: parked or in-flight work past its deadline
+    // is expired with a counted outcome.
+    ShedPolicy shed_policy = ShedPolicy::kBlock;
+    // Bounded gate capacity; required >= 1 for any shedding policy and
+    // must stay 0 under kBlock.
+    std::uint32_t queue_limit = 0;
+    // Client-side re-submission of shed transactions: up to retry_limit
+    // re-offers per transaction, delayed by capped exponential backoff
+    // retry_delay * 2^k (capped at retry_max_delay) plus seeded jitter in
+    // [0, retry_delay). 0 disables.
+    std::uint32_t retry_limit = 0;
+    Duration retry_delay = 0;
+    Duration retry_max_delay = 0;
   };
   RunControls run;
+
+  // Run-level watchdog (RunSession): both knobs 0 = disabled.
+  struct WatchdogControls {
+    // Wall-clock budget for the whole run; exceeded => the run is
+    // cancelled cleanly with a Status naming the last progress point.
+    Duration run_deadline = 0;  // interpreted as wall-clock, not sim time
+    // No-progress stall window in *simulated* time: if no commit (or
+    // expiry) lands for this long while events are still pending, the
+    // run is declared wedged and cancelled.
+    Duration stall_window = 0;
+  };
+  WatchdogControls watchdog;
 
   // Window length for the TimelineRecorder time-series (per-window
   // throughput, system-time percentiles, per-protocol counts); 0 disables

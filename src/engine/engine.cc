@@ -18,6 +18,9 @@ namespace {
 // Seeds the cross-shard jitter rng independently of root_rng_'s fork
 // sequence, so sharding never perturbs the classic engine's draw order.
 constexpr std::uint64_t kCrossRngSalt = 0xc2b2ae3d27d4eb4full;
+// Re-submission jitter stream; likewise independent of root_rng_, so
+// enabling retries never perturbs existing draw order.
+constexpr std::uint64_t kRetrySalt = 0x94d049bb133111ebull;
 }  // namespace
 
 Engine::Engine(EngineOptions options, EngineCallbacks callbacks,
@@ -25,11 +28,16 @@ Engine::Engine(EngineOptions options, EngineCallbacks callbacks,
     : options_(std::move(options)),
       callbacks_(std::move(callbacks)),
       shard_ctx_(shard),
-      root_rng_(options_.seed) {
+      root_rng_(options_.seed),
+      retry_rng_(options_.seed ^ kRetrySalt) {
   UNICC_CHECK_MSG(options_.Validate().ok(), "invalid engine options");
   metrics_.SetKeepResults(options_.keep_results);
   if (options_.metrics_window > 0) {
     timeline_ = std::make_unique<TimelineRecorder>(options_.metrics_window);
+  }
+  if (options_.run.shed_policy != ShedPolicy::kBlock) {
+    gate_ = std::make_unique<AdmissionGate>(options_.run.queue_limit,
+                                            options_.run.shed_policy);
   }
   BuildSites();
 }
@@ -183,6 +191,14 @@ void Engine::BuildSites() {
       committed_[r.id] = r.attempts;
       ++committed_count_;
       last_commit_ = sim_.Now();
+      if (!txn_deadline_events_.empty()) {
+        // Met its deadline in flight: disarm the expiry event.
+        auto it = txn_deadline_events_.find(r.id);
+        if (it != txn_deadline_events_.end()) {
+          sim_.Cancel(it->second);
+          txn_deadline_events_.erase(it);
+        }
+      }
       if (options_.run.commit_target != 0 &&
           committed_count_ >= options_.run.commit_target) {
         CloseAdmission();
@@ -192,7 +208,8 @@ void Engine::BuildSites() {
         arrival_deferred_ = false;
         AdmitPendingArrival();
       }
-      if (committed_count_ == admitted_ && !StreamActive()) stopped_ = true;
+      if (gate_ != nullptr && !admission_closed_) AdmitFromGate();
+      CheckQuiescent();
       if (callbacks_.on_commit) callbacks_.on_commit(r);
     };
     events.on_request_sent = [this](Protocol p, OpType op) {
@@ -373,6 +390,22 @@ void Engine::AdmitSpec(TxnSpec spec, SimTime arrival) {
     });
     return;
   }
+  if (gate_ != nullptr && spec.deadline != 0) {
+    const SimTime deadline_abs = arrival + spec.deadline;
+    if (sim_.Now() >= deadline_abs) {
+      // Already past its deadline (parked through an outage, or admitted
+      // exactly at expiry): expire without ever beginning.
+      ++expired_count_;
+      metrics_.OnExpired();
+      if (timeline_ != nullptr) timeline_->OnExpired(sim_.Now());
+      OnSlotFreed();
+      return;
+    }
+    const TxnId id = spec.id;
+    const SiteId home = spec.home;
+    txn_deadline_events_[id] = sim_.ScheduleAt(
+        deadline_abs, [this, id, home] { OnTxnDeadline(id, home); });
+  }
   if (policy_) spec.protocol = policy_(spec);
   if (options_.backend == BackendKind::kPure) {
     UNICC_CHECK_MSG(spec.protocol == options_.pure_protocol,
@@ -417,7 +450,8 @@ void Engine::SetArrivalStream(std::unique_ptr<ArrivalStream> stream) {
 
 bool Engine::InflightAtCap() const {
   return options_.run.max_inflight != 0 &&
-         admitted_ - committed_count_ >= options_.run.max_inflight;
+         admitted_ - committed_count_ - expired_count_ >=
+             options_.run.max_inflight;
 }
 
 void Engine::PullNextArrival() {
@@ -435,27 +469,144 @@ void Engine::PullNextArrival() {
   }
   // Exhausted (or the next arrival is past the horizon): close the stream.
   stream_.reset();
-  if (committed_count_ == admitted_) stopped_ = true;
+  CheckQuiescent();
 }
 
 void Engine::OnArrivalDue() {
   arrival_scheduled_ = false;
   if (InflightAtCap()) {
-    arrival_deferred_ = true;  // parked; the next commit admits it
+    if (gate_ == nullptr) {
+      arrival_deferred_ = true;  // parked; the next commit admits it
+      return;
+    }
+    // Bounded gate: park (or shed) this arrival and keep the stream
+    // flowing — under overload the stream must not block behind one slot.
+    Arrival a = std::move(next_arrival_);
+    PullNextArrival();
+    OfferToGate(std::move(a), /*resubmits=*/0);
     return;
   }
   AdmitPendingArrival();
 }
 
-void Engine::AdmitPendingArrival() {
-  UNICC_CHECK_MSG(ValidateSpec(next_arrival_.spec).ok(),
+void Engine::AdmitArrival(Arrival arrival) {
+  UNICC_CHECK_MSG(ValidateSpec(arrival.spec).ok(),
                   "arrival stream produced an invalid spec");
   ++admitted_;
-  // A parked arrival enters late (at the freeing commit's time) but keeps
-  // its stream arrival timestamp, so system time includes the gate wait.
-  AdmitSpec(std::move(next_arrival_.spec),
-            std::min(next_arrival_.when, sim_.Now()));
+  // An arrival parked at the gate enters late (at the freeing commit's
+  // time) but keeps its stream arrival timestamp, so system time includes
+  // the gate wait.
+  AdmitSpec(std::move(arrival.spec), std::min(arrival.when, sim_.Now()));
+}
+
+void Engine::AdmitPendingArrival() {
+  AdmitArrival(std::move(next_arrival_));
   PullNextArrival();
+}
+
+void Engine::OfferToGate(Arrival arrival, std::uint32_t resubmits) {
+  const SimTime now = sim_.Now();
+  AdmissionGate::Entry e;
+  e.priority = arrival.spec.priority;
+  e.deadline = arrival.spec.deadline == 0
+                   ? 0
+                   : arrival.when + arrival.spec.deadline;
+  e.resubmits = resubmits;
+  e.seq = ++gate_seq_;
+  e.arrival = std::move(arrival);
+  if (e.deadline != 0 && e.deadline <= now) {
+    // Dead on arrival (a re-submission delayed past its deadline).
+    metrics_.OnExpired();
+    if (timeline_ != nullptr) timeline_->OnExpired(now);
+    CheckQuiescent();
+    return;
+  }
+  const std::uint64_t seq = e.seq;
+  const SimTime deadline = e.deadline;
+  AdmissionGate::Entry shed;
+  if (gate_->Offer(std::move(e), &shed)) {
+    if (deadline != 0) {
+      sim_.ScheduleAt(deadline, [this, seq] { OnGateDeadline(seq); });
+    }
+    return;
+  }
+  // Gate full: someone was shed. If the survivor is the incoming entry
+  // (drop_oldest, or deadline evicting a parked victim), arm its timer;
+  // the victim's own pending timer, if any, becomes a no-op.
+  if (shed.seq != seq && deadline != 0) {
+    sim_.ScheduleAt(deadline, [this, seq] { OnGateDeadline(seq); });
+  }
+  HandleShed(std::move(shed));
+}
+
+void Engine::AdmitFromGate() {
+  while (gate_ != nullptr && !gate_->empty() && !InflightAtCap()) {
+    AdmitArrival(std::move(gate_->PopBest().arrival));
+  }
+}
+
+void Engine::HandleShed(AdmissionGate::Entry shed) {
+  metrics_.OnShed();
+  if (timeline_ != nullptr) timeline_->OnShed(sim_.Now());
+  const EngineOptions::RunControls& rc = options_.run;
+  if (rc.retry_limit > 0 && shed.resubmits < rc.retry_limit &&
+      !admission_closed_) {
+    metrics_.OnRetried();
+    // Capped exponential backoff with seeded jitter: the client re-offers
+    // after retry_delay * 2^k (k = prior re-submissions, capped) plus a
+    // uniform draw in [0, retry_delay).
+    const std::uint32_t shift = std::min(shed.resubmits, 20u);
+    Duration delay = rc.retry_delay << shift;
+    if (rc.retry_max_delay != 0 && delay > rc.retry_max_delay) {
+      delay = rc.retry_max_delay;
+    }
+    delay += retry_rng_.UniformInt(rc.retry_delay);
+    ++pending_resubmits_;
+    const std::uint32_t resubmits = shed.resubmits + 1;
+    sim_.Schedule(
+        delay,
+        [this, arrival = std::move(shed.arrival), resubmits]() mutable {
+          --pending_resubmits_;
+          if (admission_closed_) {
+            CheckQuiescent();
+            return;
+          }
+          if (!InflightAtCap()) {
+            AdmitArrival(std::move(arrival));
+          } else {
+            OfferToGate(std::move(arrival), resubmits);
+          }
+        });
+    return;
+  }
+  CheckQuiescent();
+}
+
+void Engine::OnGateDeadline(std::uint64_t seq) {
+  AdmissionGate::Entry e;
+  if (gate_ == nullptr || !gate_->Remove(seq, &e)) return;  // gone already
+  // Never admitted: counts as expired work in the metrics but not against
+  // the drain invariant.
+  metrics_.OnExpired();
+  if (timeline_ != nullptr) timeline_->OnExpired(sim_.Now());
+  CheckQuiescent();
+}
+
+void Engine::OnTxnDeadline(TxnId id, SiteId home) {
+  txn_deadline_events_.erase(id);
+  if (committed_.find(id) != committed_.end()) return;  // met it
+  // Executing transactions are allowed to finish (mirrors the crash rule:
+  // completing fully granted work cannot violate serializability).
+  if (!IssuerAt(home)->Expire(id)) return;
+  ++expired_count_;
+  metrics_.OnExpired();
+  if (timeline_ != nullptr) timeline_->OnExpired(sim_.Now());
+  OnSlotFreed();
+}
+
+void Engine::OnSlotFreed() {
+  if (gate_ != nullptr && !admission_closed_) AdmitFromGate();
+  CheckQuiescent();
 }
 
 void Engine::CloseAdmission() {
@@ -464,19 +615,25 @@ void Engine::CloseAdmission() {
     arrival_scheduled_ = false;
   }
   arrival_deferred_ = false;
+  admission_closed_ = true;
+  // Parked work is dropped silently, like the deferred arrival: past the
+  // commit target it would never be admitted anyway.
+  if (gate_ != nullptr) gate_->Clear();
   stream_.reset();
 }
 
 void Engine::BeginShardRun() {
   // With nothing pending the stop flag can never flip on a commit, and the
   // deadlock detector would re-schedule its tick forever.
-  if (committed_count_ == admitted_ && !StreamActive()) stopped_ = true;
+  CheckQuiescent();
 }
 
 RunSummary Engine::Summarize() const {
   RunSummary s;
   s.admitted = admitted_;
   s.committed = committed_count_;
+  s.shed = metrics_.shed();
+  s.expired = metrics_.expired();
   s.makespan = last_commit_;
   s.total_messages = transport_->TotalMessages();
   s.remote_messages = transport_->RemoteMessages();
@@ -493,7 +650,7 @@ RunSummary Engine::Summarize() const {
 RunSummary Engine::Run() {
   BeginShardRun();
   sim_.RunToCompletion();
-  UNICC_CHECK_MSG(committed_count_ == admitted_,
+  UNICC_CHECK_MSG(committed_count_ + expired_count_ == admitted_,
                   "run drained with uncommitted transactions");
   return Summarize();
 }

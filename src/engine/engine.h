@@ -17,6 +17,7 @@
 #include "cc/unified/issuer.h"
 #include "common/rng.h"
 #include "common/status.h"
+#include "engine/admission.h"
 #include "engine/config.h"
 #include "engine/shard.h"
 #include "metrics/metrics.h"
@@ -63,6 +64,10 @@ struct EngineCallbacks {
 struct RunSummary {
   std::uint64_t admitted = 0;
   std::uint64_t committed = 0;
+  // Overload-control outcomes: shed at the admission gate, expired past a
+  // deadline (parked or in flight).
+  std::uint64_t shed = 0;
+  std::uint64_t expired = 0;
   SimTime makespan = 0;          // time of the last commit
   std::uint64_t total_messages = 0;
   std::uint64_t remote_messages = 0;
@@ -154,6 +159,9 @@ class Engine {
   SimTime NextEventTime() const { return sim_.NextEventTime(); }
   std::uint64_t admitted() const { return admitted_; }
   std::uint64_t committed_count() const { return committed_count_; }
+  // Admitted transactions expired past their deadline (overload control);
+  // committed + expired == admitted once a run drains.
+  std::uint64_t expired_count() const { return expired_count_; }
   SimTime last_commit() const { return last_commit_; }
   const CommittedSet& committed_set() const { return committed_; }
   // Per-shard summary of a drained run (Run()'s tail, without the event
@@ -203,7 +211,32 @@ class Engine {
   bool InflightAtCap() const;
   // True while an arrival is still scheduled or parked at the gate.
   bool StreamActive() const {
-    return arrival_scheduled_ || arrival_deferred_;
+    return arrival_scheduled_ || arrival_deferred_ ||
+           (gate_ != nullptr && !gate_->empty()) || pending_resubmits_ > 0;
+  }
+  // --- overload control (bounded gate; engaged iff shed_policy != block)
+  // Validates and admits one streamed arrival (shared by the pulled-ahead,
+  // gate-pop and re-submission paths).
+  void AdmitArrival(Arrival arrival);
+  // Parks `arrival` in the bounded gate, shedding per policy when full.
+  void OfferToGate(Arrival arrival, std::uint32_t resubmits);
+  // Pops parked arrivals into freed MPL slots (best-first).
+  void AdmitFromGate();
+  // A shed victim: count it and schedule a re-submission when configured.
+  void HandleShed(AdmissionGate::Entry shed);
+  // Expiry of a *parked* entry (never admitted: counts expired in metrics
+  // but not against the drain invariant).
+  void OnGateDeadline(std::uint64_t seq);
+  // Expiry of an *admitted* transaction past its deadline.
+  void OnTxnDeadline(TxnId id, SiteId home);
+  // An MPL slot was freed by an expiry: refill from the gate, re-check
+  // quiescence.
+  void OnSlotFreed();
+  // Sets stopped_ once all admitted work resolved and no arrival can come.
+  void CheckQuiescent() {
+    if (committed_count_ + expired_count_ == admitted_ && !StreamActive()) {
+      stopped_ = true;
+    }
   }
   void RouteToUserSite(SiteId site, SiteId from, const Message& m);
   void RouteToDataSite(SiteId site, SiteId from, const Message& m);
@@ -258,6 +291,20 @@ class Engine {
   std::uint64_t next_arrival_event_ = 0;
   bool arrival_scheduled_ = false;  // gate event pending in the simulator
   bool arrival_deferred_ = false;   // gate fired, parked by the MPL cap
+
+  // Overload control: non-null iff options_.run.shed_policy != kBlock.
+  // With the gate engaged the arrival stream never blocks: arrivals past
+  // the MPL cap park here (bounded, shed per policy) and per-class
+  // deadlines are enforced on parked and admitted work.
+  std::unique_ptr<AdmissionGate> gate_;
+  Rng retry_rng_;  // re-submission jitter; independent of root_rng_ forks
+  std::uint64_t gate_seq_ = 0;          // seq assigned to gate entries
+  std::uint64_t expired_count_ = 0;     // admitted work expired in flight
+  std::uint64_t pending_resubmits_ = 0; // shed arrivals awaiting re-offer
+  bool admission_closed_ = false;       // commit target reached
+  // Pending deadline events of admitted transactions, cancelled on commit
+  // so a met deadline leaves no event behind.
+  std::unordered_map<TxnId, std::uint64_t> txn_deadline_events_;
 };
 
 }  // namespace unicc

@@ -72,6 +72,7 @@ double DurationStat::MaxMs() const {
 
 void RunMetrics::OnCommit(const TxnResult& r) {
   ++total_committed_;
+  if (r.MetDeadline()) ++goodput_committed_;
   all_system_time_.Add(r.SystemTime());
   ProtocolStats& ps = ForProtocol(r.protocol);
   ++ps.committed;
@@ -106,6 +107,10 @@ void RunMetrics::MergeFrom(const RunMetrics& other) {
   deadlock_restarts_ += other.deadlock_restarts_;
   reject_restarts_ += other.reject_restarts_;
   timeout_restarts_ += other.timeout_restarts_;
+  shed_ += other.shed_;
+  expired_ += other.expired_;
+  retried_ += other.retried_;
+  goodput_committed_ += other.goodput_committed_;
   if (keep_results_) {
     results_.insert(results_.end(), other.results_.begin(),
                     other.results_.end());

@@ -63,6 +63,11 @@ class RunMetrics {
   void OnCommit(const TxnResult& r);
   void OnRestart(Protocol proto, TxnOutcome why);
 
+  // Overload-control outcomes (engine admission gate).
+  void OnShed() { ++shed_; }
+  void OnExpired() { ++expired_; }
+  void OnRetried() { ++retried_; }
+
   // Folds another run's metrics into this one; used to combine per-shard
   // metrics in stable shard order. keep_results_ rows are appended in call
   // order, so the merged results() list is deterministic.
@@ -79,6 +84,13 @@ class RunMetrics {
   std::uint64_t deadlock_restarts() const { return deadlock_restarts_; }
   std::uint64_t reject_restarts() const { return reject_restarts_; }
   std::uint64_t timeout_restarts() const { return timeout_restarts_; }
+  // Overload counters: transactions shed at the admission gate, expired
+  // past their deadline, shed-then-re-submitted, and commits that met
+  // their deadline (goodput; == total_committed when no class sets one).
+  std::uint64_t shed() const { return shed_; }
+  std::uint64_t expired() const { return expired_; }
+  std::uint64_t retried() const { return retried_; }
+  std::uint64_t goodput_committed() const { return goodput_committed_; }
   double MeanSystemTimeMs() const { return all_system_time_.MeanMs(); }
   const DurationStat& SystemTime() const { return all_system_time_; }
 
@@ -96,6 +108,10 @@ class RunMetrics {
   std::uint64_t deadlock_restarts_ = 0;
   std::uint64_t reject_restarts_ = 0;
   std::uint64_t timeout_restarts_ = 0;
+  std::uint64_t shed_ = 0;
+  std::uint64_t expired_ = 0;
+  std::uint64_t retried_ = 0;
+  std::uint64_t goodput_committed_ = 0;
   bool keep_results_ = false;
   std::vector<TxnResult> results_;
 };

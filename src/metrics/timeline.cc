@@ -28,6 +28,7 @@ TimelineRecorder::WindowStats& TimelineRecorder::At(SimTime t) {
 void TimelineRecorder::OnCommit(const TxnResult& r) {
   WindowStats& w = At(r.commit);
   ++w.committed;
+  if (r.MetDeadline()) ++w.goodput;
   ++w.committed_by_proto[static_cast<std::size_t>(r.protocol)];
   w.system_time.Add(r.SystemTime());
 }
@@ -35,6 +36,10 @@ void TimelineRecorder::OnCommit(const TxnResult& r) {
 void TimelineRecorder::OnRestart(SimTime now, Protocol proto) {
   ++At(now).restarts_by_proto[static_cast<std::size_t>(proto)];
 }
+
+void TimelineRecorder::OnShed(SimTime now) { ++At(now).shed; }
+
+void TimelineRecorder::OnExpired(SimTime now) { ++At(now).expired; }
 
 void TimelineRecorder::MergeFrom(const TimelineRecorder& other) {
   UNICC_CHECK_MSG(window_ == other.window_,
@@ -47,6 +52,9 @@ void TimelineRecorder::MergeFrom(const TimelineRecorder& other) {
     WindowStats& dst = windows_[i];
     const WindowStats& src = other.windows_[i];
     dst.committed += src.committed;
+    dst.goodput += src.goodput;
+    dst.shed += src.shed;
+    dst.expired += src.expired;
     for (std::size_t p = 0; p < kNumProtocols; ++p) {
       dst.committed_by_proto[p] += src.committed_by_proto[p];
       dst.restarts_by_proto[p] += src.restarts_by_proto[p];
@@ -68,8 +76,8 @@ SimTime TimelineRecorder::WindowEnd(std::size_t i) const {
 void TimelineRecorder::WriteCsv(std::ostream& out) const {
   out << "window,start_ms,end_ms,committed,throughput_tps,mean_s_ms,p99_s_ms,"
          "committed_2pl,committed_to,committed_pa,"
-         "restarts_2pl,restarts_to,restarts_pa\n";
-  char buf[256];
+         "restarts_2pl,restarts_to,restarts_pa,goodput,shed,expired\n";
+  char buf[320];
   for (std::size_t i = 0; i < windows_.size(); ++i) {
     const WindowStats& w = windows_[i];
     const SimTime end = WindowEnd(i);
@@ -79,7 +87,8 @@ void TimelineRecorder::WriteCsv(std::ostream& out) const {
         static_cast<double>(end - w.start) / static_cast<double>(kSecond);
     std::snprintf(
         buf, sizeof(buf),
-        "%zu,%.3f,%.3f,%llu,%.3f,%.3f,%.3f,%llu,%llu,%llu,%llu,%llu,%llu\n",
+        "%zu,%.3f,%.3f,%llu,%.3f,%.3f,%.3f,%llu,%llu,%llu,%llu,%llu,%llu,"
+        "%llu,%llu,%llu\n",
         i, static_cast<double>(w.start) / kMillisecond,
         static_cast<double>(end) / kMillisecond,
         static_cast<unsigned long long>(w.committed),
@@ -90,13 +99,16 @@ void TimelineRecorder::WriteCsv(std::ostream& out) const {
         static_cast<unsigned long long>(w.committed_by_proto[2]),
         static_cast<unsigned long long>(w.restarts_by_proto[0]),
         static_cast<unsigned long long>(w.restarts_by_proto[1]),
-        static_cast<unsigned long long>(w.restarts_by_proto[2]));
+        static_cast<unsigned long long>(w.restarts_by_proto[2]),
+        static_cast<unsigned long long>(w.goodput),
+        static_cast<unsigned long long>(w.shed),
+        static_cast<unsigned long long>(w.expired));
     out << buf;
   }
 }
 
 void TimelineRecorder::WriteJson(std::ostream& out) const {
-  char buf[256];
+  char buf[320];
   std::snprintf(buf, sizeof(buf), "{\n  \"window_ms\": %.3f",
                 static_cast<double>(window_) / kMillisecond);
   out << buf;
@@ -119,8 +131,12 @@ void TimelineRecorder::WriteJson(std::ostream& out) const {
     out << buf;
     std::snprintf(
         buf, sizeof(buf),
+        "\"goodput\": %llu, \"shed\": %llu, \"expired\": %llu, "
         "\"committed_by_protocol\": [%llu, %llu, %llu], "
         "\"restarts_by_protocol\": [%llu, %llu, %llu]}%s\n",
+        static_cast<unsigned long long>(w.goodput),
+        static_cast<unsigned long long>(w.shed),
+        static_cast<unsigned long long>(w.expired),
         static_cast<unsigned long long>(w.committed_by_proto[0]),
         static_cast<unsigned long long>(w.committed_by_proto[1]),
         static_cast<unsigned long long>(w.committed_by_proto[2]),

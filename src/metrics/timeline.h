@@ -39,10 +39,17 @@ class TimelineRecorder {
   // earlier window are still counted there.
   void OnCommit(const TxnResult& r);
   void OnRestart(SimTime now, Protocol proto);
+  // Overload-control outcomes, bucketed by when they happened.
+  void OnShed(SimTime now);
+  void OnExpired(SimTime now);
 
   struct WindowStats {
     SimTime start = 0;
     std::uint64_t committed = 0;
+    // Commits that met their deadline (== committed when no deadlines).
+    std::uint64_t goodput = 0;
+    std::uint64_t shed = 0;
+    std::uint64_t expired = 0;
     std::array<std::uint64_t, kNumProtocols> committed_by_proto{};
     std::array<std::uint64_t, kNumProtocols> restarts_by_proto{};
     DurationStat system_time;
@@ -71,7 +78,7 @@ class TimelineRecorder {
   // One row per window. Columns:
   //   window,start_ms,end_ms,committed,throughput_tps,mean_s_ms,p99_s_ms,
   //   committed_2pl,committed_to,committed_pa,
-  //   restarts_2pl,restarts_to,restarts_pa
+  //   restarts_2pl,restarts_to,restarts_pa,goodput,shed,expired
   void WriteCsv(std::ostream& out) const;
   // {"window_ms": W, "windows": [{...}, ...]} with the same fields.
   void WriteJson(std::ostream& out) const;

@@ -1,6 +1,8 @@
 #include "runner/runner.h"
 
 #include <algorithm>
+#include <chrono>
+#include <string>
 #include <utility>
 
 #include "common/check.h"
@@ -67,6 +69,10 @@ RunStats ExtractStatsImpl(EngineT& engine, const RunSummary& summary,
                                   static_cast<double>(summary.committed);
   out.throughput = engine.metrics().ThroughputPerSec(summary.makespan);
   out.serializable = engine.CheckSerializability().serializable;
+  out.shed = engine.metrics().shed();
+  out.expired = engine.metrics().expired();
+  out.retried = engine.metrics().retried();
+  out.goodput = engine.metrics().goodput_committed();
   for (int p = 0; p < kNumProtocols; ++p) {
     const auto& ps = engine.metrics().ForProtocol(static_cast<Protocol>(p));
     out.mean_s_ms_by_proto[p] = ps.system_time.MeanMs();
@@ -136,6 +142,13 @@ StatusOr<std::unique_ptr<RunSession>> RunSession::Create(RunRequest request) {
     return Status::InvalidArgument(
         "sharded runs are batch-only: open-system (streaming-admission) "
         "scenarios cannot be partitioned");
+  }
+  if (session->sharded_ &&
+      (session->spec_.engine.watchdog.run_deadline != 0 ||
+       session->spec_.engine.watchdog.stall_window != 0)) {
+    return Status::InvalidArgument(
+        "the run watchdog (run_deadline_ms / stall_ms) drives the classic "
+        "engine in windows; it is incompatible with sharded runs");
   }
   return session;
 }
@@ -247,13 +260,75 @@ RunReport RunSession::Run() {
   if (arrivals != nullptr) {
     UNICC_CHECK(engine_->AddWorkload(*arrivals).ok());
   }
-  const RunSummary summary = engine_->Run();
   RunReport report;
-  report.summary = summary;
-  report.stats = ExtractStats(*engine_, summary);
+  const EngineOptions::WatchdogControls& wd = spec_.engine.watchdog;
+  if (wd.run_deadline != 0 || wd.stall_window != 0) {
+    report.status = RunWatched(wd);
+    report.summary = engine_->Summarize();
+  } else {
+    report.summary = engine_->Run();
+  }
+  report.stats = ExtractStats(*engine_, report.summary);
   report.events_run = engine_->simulator().EventsRun();
   report.shards = 1;
   return report;
+}
+
+// Drives the classic engine in windows so a wedged or runaway run can be
+// cancelled cleanly instead of hanging in Engine::Run(). Two tripwires:
+//   - run_deadline: wall-clock budget for the whole run (checked between
+//     windows; the only nondeterministic control, by design);
+//   - stall_window: simulated time without a single commit or expiry. The
+//     loop advances in stall_window-sized slices, so a stall is detected
+//     deterministically after between one and two windows of no progress.
+Status RunSession::RunWatched(const EngineOptions::WatchdogControls& wd) {
+  // Without stall detection, slice just often enough to check the clock.
+  const Duration slice =
+      wd.stall_window != 0 ? wd.stall_window : 100 * kMillisecond;
+  const auto wall_start = std::chrono::steady_clock::now();
+  engine_->BeginShardRun();
+  std::uint64_t progress =
+      engine_->committed_count() + engine_->expired_count();
+  SimTime cursor = 0;
+  SimTime progress_at = 0;  // slice boundary when progress was last seen
+  while (engine_->NextEventTime() != Simulator::kNoPending) {
+    cursor = std::max(cursor, engine_->NextEventTime()) + slice;
+    engine_->RunWindow(cursor + 1);  // runs every event with ts <= cursor
+    const std::uint64_t now_progress =
+        engine_->committed_count() + engine_->expired_count();
+    if (now_progress > progress) {
+      progress = now_progress;
+      progress_at = cursor;
+    } else if (wd.stall_window != 0 &&
+               cursor - progress_at >= wd.stall_window) {
+      engine_->ForceStop();
+      return Status::FailedPrecondition(
+          "run stalled: no commit or expiry for " +
+          std::to_string((cursor - progress_at) / kMillisecond) +
+          " ms of simulated time (last progress: " +
+          std::to_string(engine_->last_commit() / kMillisecond) +
+          " ms, committed " + std::to_string(engine_->committed_count()) +
+          ", expired " + std::to_string(engine_->expired_count()) +
+          " of " + std::to_string(engine_->admitted()) + " admitted)");
+    }
+    if (wd.run_deadline != 0) {
+      const auto elapsed = std::chrono::duration_cast<std::chrono::microseconds>(
+          std::chrono::steady_clock::now() - wall_start);
+      if (static_cast<Duration>(elapsed.count()) >= wd.run_deadline) {
+        engine_->ForceStop();
+        return Status::FailedPrecondition(
+            "run deadline exceeded: " +
+            std::to_string(wd.run_deadline / kMillisecond) +
+            " ms of wall clock (last progress: " +
+            std::to_string(engine_->last_commit() / kMillisecond) +
+            " ms simulated, committed " +
+            std::to_string(engine_->committed_count()) + ", expired " +
+            std::to_string(engine_->expired_count()) + " of " +
+            std::to_string(engine_->admitted()) + " admitted)");
+      }
+    }
+  }
+  return Status::OK();
 }
 
 const RunMetrics& RunSession::metrics() const {

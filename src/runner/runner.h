@@ -49,6 +49,12 @@ struct RunStats {
                                // (excludes deadlock-detector traffic)
   double throughput = 0;       // committed per simulated second
   bool serializable = false;
+  // Overload-control outcomes (zero unless the scenario engages the
+  // bounded admission gate / deadlines).
+  std::uint64_t shed = 0;      // dropped at the admission gate
+  std::uint64_t expired = 0;   // expired past their deadline
+  std::uint64_t retried = 0;   // shed arrivals re-submitted with backoff
+  std::uint64_t goodput = 0;   // commits that met their deadline
   // Per-protocol mean S (only meaningful for mixed runs).
   double mean_s_ms_by_proto[kNumProtocols] = {0, 0, 0};
   std::uint64_t committed_by_proto[kNumProtocols] = {0, 0, 0};
@@ -87,6 +93,11 @@ struct RunReport {
   RunSummary summary;
   std::uint64_t events_run = 0;
   std::uint32_t shards = 1;
+  // OK for a run that drained normally. FailedPrecondition when the run
+  // watchdog cancelled the run (wall-clock run_deadline_ms exceeded, or no
+  // commit/expiry progress for a full stall_ms window); the message names
+  // the last progress point. Stats/summary then describe the partial run.
+  Status status = Status::OK();
 };
 
 class RunSession {
@@ -119,6 +130,10 @@ class RunSession {
   explicit RunSession(RunRequest request);
   EngineCallbacks MakeCallbacks(std::uint32_t shard);
   void InstallPolicy(std::uint32_t shard, Engine& engine);
+  // The watchdog event loop (replaces Engine::Run when [run] sets
+  // run_deadline_ms or stall_ms). Returns OK if the run drained, or
+  // FailedPrecondition naming the last progress point if it was cancelled.
+  Status RunWatched(const EngineOptions::WatchdogControls& wd);
 
   RunRequest request_;
   ScenarioSpec spec_;  // the request's spec with overrides applied

@@ -408,6 +408,12 @@ Status ParseClassKey(const IniEntry& e, ScenarioClass* c, bool* known) {
     if (Status s = ParseMs(e, &c->compute_time); !s.ok()) return s;
   } else if (e.key == "backoff_interval") {
     if (Status s = ParseUint(e, &c->backoff_interval); !s.ok()) return s;
+  } else if (e.key == "priority") {
+    if (Status s = ParseUint(e, &u); !s.ok()) return s;
+    c->priority = static_cast<std::uint32_t>(u);
+  } else if (e.key == "deadline_ms") {
+    if (Status s = ParseMs(e, &c->deadline); !s.ok()) return s;
+    if (c->deadline == 0) return BadValue(e, "must be > 0");
   } else if (e.key == "protocol") {
     // `policy` releases a forced class back to the scenario policy (the
     // way a phase un-forces a protocol forced earlier in the timeline).
@@ -553,6 +559,24 @@ Status ParseRunSection(const IniSection& sec, EngineOptions* eo) {
     } else if (e.key == "shards") {
       if (Status s = ParseUint(e, &u); !s.ok()) return s;
       eo->shards = static_cast<std::uint32_t>(u);
+    } else if (e.key == "queue_limit") {
+      if (Status s = ParseUint(e, &u); !s.ok()) return s;
+      eo->run.queue_limit = static_cast<std::uint32_t>(u);
+    } else if (e.key == "shed_policy") {
+      if (!ParseShedPolicy(e.value, &eo->run.shed_policy)) {
+        return BadValue(e, "expected block/drop_newest/drop_oldest/deadline");
+      }
+    } else if (e.key == "retry_limit") {
+      if (Status s = ParseUint(e, &u); !s.ok()) return s;
+      eo->run.retry_limit = static_cast<std::uint32_t>(u);
+    } else if (e.key == "retry_ms") {
+      if (Status s = ParseMs(e, &eo->run.retry_delay); !s.ok()) return s;
+    } else if (e.key == "retry_max_ms") {
+      if (Status s = ParseMs(e, &eo->run.retry_max_delay); !s.ok()) return s;
+    } else if (e.key == "run_deadline_ms") {
+      if (Status s = ParseMs(e, &eo->watchdog.run_deadline); !s.ok()) return s;
+    } else if (e.key == "stall_ms") {
+      if (Status s = ParseMs(e, &eo->watchdog.stall_window); !s.ok()) return s;
     } else {
       return Status::InvalidArgument(Where(e) + "unknown [run] key '" +
                                      e.key + "'");
@@ -699,6 +723,23 @@ Status CrossValidate(const ScenarioSpec& spec) {
         "[run] shards > 1 is batch-only: open-system run controls "
         "(horizon_ms / commit_target / max_inflight) need a global "
         "admission gate");
+  }
+  if (spec.engine.run.shed_policy == ShedPolicy::kDeadline) {
+    const bool any_deadline =
+        std::any_of(spec.classes.begin(), spec.classes.end(),
+                    [](const ScenarioClass& c) { return c.deadline != 0; });
+    if (!any_deadline) {
+      return Status::InvalidArgument(
+          "[run] shed_policy = deadline needs at least one class with "
+          "deadline_ms");
+    }
+  }
+  if (spec.engine.shards > 1 &&
+      (spec.engine.watchdog.run_deadline != 0 ||
+       spec.engine.watchdog.stall_window != 0)) {
+    return Status::InvalidArgument(
+        "[run] run_deadline_ms / stall_ms watch a single-engine run; "
+        "they are incompatible with shards > 1");
   }
   return spec.engine.Validate();
 }
@@ -861,6 +902,8 @@ class ClassArrivalGen {
         static_cast<SiteId>(rng_.UniformInt(spec_->engine.num_user_sites));
     spec.compute_time = config_.compute_time;
     spec.backoff_interval = config_.backoff_interval;
+    spec.priority = config_.priority;
+    spec.deadline = config_.deadline;
     if (config_.has_protocol) spec.protocol = config_.protocol;
     const std::uint32_t size = static_cast<std::uint32_t>(
         rng_.UniformRange(config_.size_min, config_.size_max));

@@ -82,6 +82,13 @@ struct ScenarioClass {
   Duration compute_time = 5 * kMillisecond;
   Timestamp backoff_interval = 0;  // 0: engine default
 
+  // Overload-control class attributes. Priority orders parked arrivals at
+  // the admission gate (higher admits first); the deadline is a per-txn
+  // budget from arrival — parked or in-flight work past it is expired and
+  // committed work past it does not count toward goodput. 0 = none.
+  std::uint32_t priority = 0;
+  Duration deadline = 0;
+
   // Forced per-class protocol; overrides the scenario policy for every
   // transaction of this class.
   bool has_protocol = false;

@@ -25,6 +25,13 @@ struct TxnSpec {
   Duration compute_time = 0;
   // PA back-off interval INT_i; 0 lets the issuer pick a default.
   Timestamp backoff_interval = 0;
+  // Admission priority under overload (higher wins a queue slot); ties
+  // drain FIFO. Ignored unless a shedding admission gate is configured.
+  std::uint32_t priority = 0;
+  // Relative completion deadline: a commit later than arrival + deadline
+  // counts against goodput, and with a shedding gate the transaction is
+  // expired (parked or in flight) once the deadline passes. 0 = none.
+  Duration deadline = 0;
 
   // Total number of requests K(t) = |read_set| + |write_set|.
   std::size_t NumRequests() const {
@@ -54,8 +61,11 @@ struct TxnResult {
   std::uint32_t attempts = 1;   // 1 == committed first try
   std::uint32_t backoffs = 0;   // PA back-off negotiations performed
   std::size_t num_requests = 0;
+  Duration deadline = 0;  // copied from the spec; 0 = no deadline
 
   Duration SystemTime() const { return commit - arrival; }
+  // Goodput rule: a commit counts unless it has a deadline and missed it.
+  bool MetDeadline() const { return deadline == 0 || SystemTime() <= deadline; }
 };
 
 }  // namespace unicc

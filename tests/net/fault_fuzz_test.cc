@@ -158,21 +158,51 @@ ScenarioSpec SpecForSeed(std::uint64_t seed) {
   // A quarter of schedules run on the two-shard parallel engine: the
   // fault layer must hold through the window barriers too.
   if (Pick(&s, 4) == 0) eo.shards = 2;
+
+  // Overload-control draws ride along at the END of the positional
+  // stream, so every pre-existing corpus schedule is reproduced exactly.
+  // A third of classic-engine schedules engage the bounded admission
+  // gate (sharded runs are batch-only and skip it; the draws are still
+  // consumed to keep positions stable).
+  const std::uint64_t overload = Pick(&s, 3);
+  const std::uint64_t mpl = 2 + Pick(&s, 6);
+  const std::uint64_t qlimit = 2 + Pick(&s, 8);
+  const std::uint64_t shed_draw = Pick(&s, 3);
+  const std::uint64_t retry_draw = Pick(&s, 2);
+  const Duration deadline = (300 + Pick(&s, 500)) * kMillisecond;
+  if (overload == 0 && eo.shards == 1) {
+    eo.run.max_inflight = static_cast<std::uint32_t>(mpl);
+    eo.run.queue_limit = static_cast<std::uint32_t>(qlimit);
+    eo.run.shed_policy = shed_draw == 0   ? ShedPolicy::kDropNewest
+                         : shed_draw == 1 ? ShedPolicy::kDropOldest
+                                          : ShedPolicy::kDeadline;
+    if (retry_draw == 0) {
+      eo.run.retry_limit = 2;
+      eo.run.retry_delay = 20 * kMillisecond;
+      eo.run.retry_max_delay = 100 * kMillisecond;
+    }
+    spec.classes[0].deadline = deadline;
+  }
   return spec;
 }
 
 std::string Snapshot(const runner::RunStats& st) {
-  char buf[512];
+  char buf[640];
   std::snprintf(
       buf, sizeof(buf),
       "committed=%llu makespan=%llu messages=%llu victims=%llu "
-      "rejects=%llu backoffs=%llu mean_s=%.17g",
+      "rejects=%llu backoffs=%llu shed=%llu expired=%llu retried=%llu "
+      "goodput=%llu mean_s=%.17g",
       static_cast<unsigned long long>(st.committed),
       static_cast<unsigned long long>(st.makespan),
       static_cast<unsigned long long>(st.total_messages),
       static_cast<unsigned long long>(st.deadlock_victims),
       static_cast<unsigned long long>(st.reject_restarts),
-      static_cast<unsigned long long>(st.backoff_rounds), st.mean_s_ms);
+      static_cast<unsigned long long>(st.backoff_rounds),
+      static_cast<unsigned long long>(st.shed),
+      static_cast<unsigned long long>(st.expired),
+      static_cast<unsigned long long>(st.retried),
+      static_cast<unsigned long long>(st.goodput), st.mean_s_ms);
   return std::string(buf);
 }
 
@@ -180,13 +210,19 @@ std::string Snapshot(const runner::RunStats& st) {
 // string on success, else the failure description.
 std::string CheckSeed(std::uint64_t seed, bool run_twice) {
   const ScenarioSpec spec = SpecForSeed(seed);
-  const ScenarioSpec::Workload wl = spec.BuildWorkload();
+  // Overload schedules must run open-system (streaming admission through
+  // the gate); a pre-materialized batch bypasses the MPL gate entirely.
+  const bool open = spec.IsOpenSystem();
+  ScenarioSpec::Workload wl;
+  if (!open) wl = spec.BuildWorkload();
 
   auto run = [&]() -> RunReport {
     RunRequest request;
     request.spec = &spec;
-    request.arrivals = &wl.arrivals;
-    request.forced = wl.forced;
+    if (!open) {
+      request.arrivals = &wl.arrivals;
+      request.forced = wl.forced;
+    }
     auto session = RunSession::Create(std::move(request));
     if (!session.ok()) {
       ADD_FAILURE() << "seed " << seed << ": "
@@ -198,10 +234,17 @@ std::string CheckSeed(std::uint64_t seed, bool run_twice) {
 
   const RunReport report = run();
   std::string why;
-  if (report.stats.committed != spec.TotalTxns()) {
-    why += " run did not drain (committed " +
-           std::to_string(report.stats.committed) + "/" +
-           std::to_string(spec.TotalTxns()) + ")";
+  // Drain oracle. Batch: everything commits. Open-system with a shedding
+  // gate: each offered transaction terminates exactly once — committed,
+  // expired, or shed without retry budget (a retried shed re-enters).
+  const runner::RunStats& st = report.stats;
+  const std::uint64_t accounted =
+      st.committed + st.expired + (st.shed - st.retried);
+  if (accounted != spec.TotalTxns()) {
+    why += " run did not drain (committed " + std::to_string(st.committed) +
+           " expired " + std::to_string(st.expired) + " shed " +
+           std::to_string(st.shed) + " retried " + std::to_string(st.retried) +
+           " of " + std::to_string(spec.TotalTxns()) + ")";
   }
   if (!report.stats.serializable) why += " history not serializable";
   if (!report.stats.replicas_consistent) why += " replicas diverged";

@@ -25,6 +25,10 @@
 //                      The wall-clock rate is informational (never
 //                      gated); its exact digest, faulty_digest, pins the
 //                      fault schedule and the recovery machinery
+//   overload_run       the bounded-admission scenario at 2x offered load
+//                      (deadline shedding + retry backoff); its exact
+//                      digest, overload_digest, additionally folds the
+//                      shed/expired/retried/goodput counters
 //   trace_write        UCTC v2 block-columnar trace encode, MB/sec
 //   trace_replay       UCTC v2 block decode through the ArrivalStream
 //                      reader, MB/sec; the exact round-trip digest,
@@ -372,20 +376,33 @@ int RunTraceRoundTrip(std::uint64_t n) {
 
 // FNV-1a over the deterministic integer outcomes of a run: if this digest
 // moves, the optimization changed simulation results, not just its speed.
+void MixDigest(std::uint64_t* h, std::uint64_t v) {
+  for (int i = 0; i < 8; ++i) {
+    *h ^= (v >> (8 * i)) & 0xff;
+    *h *= 1099511628211ULL;
+  }
+}
+
 std::uint64_t DigestStats(const bench::RunStats& s) {
   std::uint64_t h = 1469598103934665603ULL;
-  auto mix = [&h](std::uint64_t v) {
-    for (int i = 0; i < 8; ++i) {
-      h ^= (v >> (8 * i)) & 0xff;
-      h *= 1099511628211ULL;
-    }
-  };
-  mix(s.committed);
-  mix(s.deadlock_victims);
-  mix(s.reject_restarts);
-  mix(s.backoff_rounds);
-  mix(s.serializable ? 1 : 0);
-  for (int p = 0; p < kNumProtocols; ++p) mix(s.committed_by_proto[p]);
+  MixDigest(&h, s.committed);
+  MixDigest(&h, s.deadlock_victims);
+  MixDigest(&h, s.reject_restarts);
+  MixDigest(&h, s.backoff_rounds);
+  MixDigest(&h, s.serializable ? 1 : 0);
+  for (int p = 0; p < kNumProtocols; ++p) MixDigest(&h, s.committed_by_proto[p]);
+  return h;
+}
+
+// The overload kernel's digest additionally folds the overload-control
+// outcome counters, pinning the shed/expire/retry machinery exactly.
+std::uint64_t DigestOverloadStats(const bench::RunStats& s) {
+  std::uint64_t h = DigestStats(s);
+  MixDigest(&h, s.admitted);
+  MixDigest(&h, s.shed);
+  MixDigest(&h, s.expired);
+  MixDigest(&h, s.retried);
+  MixDigest(&h, s.goodput);
   return h;
 }
 
@@ -439,6 +456,39 @@ KernelResult KernelScenarioRun(const char* name, bool stream,
   return r;
 }
 
+// Overload kernel: the bounded-admission scenario as authored (2x offered
+// load, deadline shedding, one retry round). Unlike the other scenario
+// kernels, shed work never commits, so committed < txns by design; the
+// run is instead required to actually shed and to stay serializable, and
+// its digest (DigestOverloadStats) pins every overload counter exactly.
+KernelResult KernelOverloadRun(const std::string& path,
+                               std::uint64_t* digest, bool* ok) {
+  KernelResult r;
+  r.name = "overload_run";
+  r.items = "txns";
+  auto spec = ScenarioSpec::LoadFile(path);
+  if (!spec.ok()) {
+    std::fprintf(stderr, "perf_gate: %s: %s\n", path.c_str(),
+                 spec.status().ToString().c_str());
+    *ok = false;
+    return r;
+  }
+  const double start = NowSeconds();
+  const bench::RunStats stats = bench::RunScenario(*spec);
+  const double elapsed = NowSeconds() - start;
+  r.items_per_sec = static_cast<double>(stats.committed) / elapsed;
+  *digest = DigestOverloadStats(stats);
+  if (stats.shed == 0 || !stats.serializable) {
+    std::fprintf(stderr,
+                 "perf_gate: overload_run is broken (shed=%llu, "
+                 "serializable=%s)\n",
+                 static_cast<unsigned long long>(stats.shed),
+                 stats.serializable ? "yes" : "no");
+    *ok = false;
+  }
+  return r;
+}
+
 // ---------------------------------------------------------------------------
 // JSON in/out
 // ---------------------------------------------------------------------------
@@ -447,9 +497,11 @@ void WriteReport(const std::string& path,
                  const std::vector<KernelResult>& kernels,
                  std::uint64_t digest, std::uint64_t stream_digest,
                  std::uint64_t sharded_digest, std::uint64_t faulty_digest,
-                 std::uint64_t trace_digest, const std::string& scenario,
+                 std::uint64_t overload_digest, std::uint64_t trace_digest,
+                 const std::string& scenario,
                  const std::string& sharded_scenario,
-                 const std::string& faulty_scenario) {
+                 const std::string& faulty_scenario,
+                 const std::string& overload_scenario) {
   std::FILE* f = std::fopen(path.c_str(), "w");
   if (f == nullptr) {
     std::fprintf(stderr, "perf_gate: cannot open %s\n", path.c_str());
@@ -461,18 +513,21 @@ void WriteReport(const std::string& path,
                "  \"scenario\": \"%s\",\n"
                "  \"sharded_scenario\": \"%s\",\n"
                "  \"faulty_scenario\": \"%s\",\n"
+               "  \"overload_scenario\": \"%s\",\n"
                "  \"scenario_digest\": \"%016llx\",\n"
                "  \"stream_digest\": \"%016llx\",\n"
                "  \"sharded_digest\": \"%016llx\",\n"
                "  \"faulty_digest\": \"%016llx\",\n"
+               "  \"overload_digest\": \"%016llx\",\n"
                "  \"trace_digest\": \"%016llx\",\n"
                "  \"kernels\": [\n",
                scenario.c_str(), sharded_scenario.c_str(),
-               faulty_scenario.c_str(),
+               faulty_scenario.c_str(), overload_scenario.c_str(),
                static_cast<unsigned long long>(digest),
                static_cast<unsigned long long>(stream_digest),
                static_cast<unsigned long long>(sharded_digest),
                static_cast<unsigned long long>(faulty_digest),
+               static_cast<unsigned long long>(overload_digest),
                static_cast<unsigned long long>(trace_digest));
   for (std::size_t i = 0; i < kernels.size(); ++i) {
     std::fprintf(f,
@@ -500,6 +555,8 @@ struct Baseline {
   bool has_sharded_digest = false;
   std::uint64_t faulty_digest = 0;
   bool has_faulty_digest = false;
+  std::uint64_t overload_digest = 0;
+  bool has_overload_digest = false;
   std::uint64_t trace_digest = 0;
   bool has_trace_digest = false;
 };
@@ -535,6 +592,12 @@ bool LoadBaseline(const std::string& path, Baseline* out) {
     out->faulty_digest =
         std::strtoull(text.c_str() + p + fkey.size(), nullptr, 16);
     out->has_faulty_digest = true;
+  }
+  const std::string okey = "\"overload_digest\": \"";
+  if (std::size_t p = text.find(okey); p != std::string::npos) {
+    out->overload_digest =
+        std::strtoull(text.c_str() + p + okey.size(), nullptr, 16);
+    out->has_overload_digest = true;
   }
   const std::string tkey = "\"trace_digest\": \"";
   if (std::size_t p = text.find(tkey); p != std::string::npos) {
@@ -583,6 +646,9 @@ void PrintHelp() {
       "                      (default scenarios/flaky_mesh.ini)\n"
       "  --faulty-txns=<n>   transaction count for the faulty kernel\n"
       "                      (default 2000)\n"
+      "  --overload-scenario=<file>  bounded-admission scenario for the\n"
+      "                      overload_run kernel\n"
+      "                      (default scenarios/overload.ini)\n"
       "  --trace-roundtrip=<n>  instead of the kernel suite, run a\n"
       "                      bounded-memory generator -> v2 trace file ->\n"
       "                      replay round trip of n transactions and exit\n"
@@ -609,6 +675,7 @@ int main(int argc, char** argv) {
   std::string scenario_path = "scenarios/quickstart.ini";
   std::string sharded_path = "scenarios/macro_partitioned.ini";
   std::string faulty_path = "scenarios/flaky_mesh.ini";
+  std::string overload_path = "scenarios/overload.ini";
   double tolerance = 0.5;
   double min_time = 0.5;
   std::uint64_t txns = 20000;
@@ -628,7 +695,8 @@ int main(int argc, char** argv) {
                ParseFlag(a, "--baseline", &baseline_path) ||
                ParseFlag(a, "--scenario", &scenario_path) ||
                ParseFlag(a, "--sharded-scenario", &sharded_path) ||
-               ParseFlag(a, "--faulty-scenario", &faulty_path)) {
+               ParseFlag(a, "--faulty-scenario", &faulty_path) ||
+               ParseFlag(a, "--overload-scenario", &overload_path)) {
     } else if (ParseFlag(a, "--tolerance", &v)) {
       tolerance = std::strtod(v.c_str(), nullptr);
     } else if (ParseFlag(a, "--min-time", &v)) {
@@ -670,6 +738,8 @@ int main(int argc, char** argv) {
   kernels.push_back(KernelScenarioRun("faulty_run", /*stream=*/false,
                                       faulty_path, faulty_txns,
                                       &faulty_digest, &ok));
+  std::uint64_t overload_digest = 0;
+  kernels.push_back(KernelOverloadRun(overload_path, &overload_digest, &ok));
   std::uint64_t trace_digest = 0;
   {
     const std::vector<Arrival> trace_wl = MakeTraceWorkload(50000);
@@ -699,6 +769,8 @@ int main(int argc, char** argv) {
               static_cast<unsigned long long>(sharded_digest));
   std::printf("faulty_digest      %016llx\n",
               static_cast<unsigned long long>(faulty_digest));
+  std::printf("overload_digest    %016llx\n",
+              static_cast<unsigned long long>(overload_digest));
   std::printf("trace_digest       %016llx\n",
               static_cast<unsigned long long>(trace_digest));
 
@@ -795,6 +867,15 @@ int main(int argc, char** argv) {
                    static_cast<unsigned long long>(faulty_digest));
       ok = false;
     }
+    if (base.has_overload_digest && base.overload_digest != overload_digest) {
+      std::fprintf(stderr,
+                   "perf_gate: FAIL overload digest changed "
+                   "(%016llx -> %016llx): the shed/expire/retry machinery "
+                   "diverged from the baseline build\n",
+                   static_cast<unsigned long long>(base.overload_digest),
+                   static_cast<unsigned long long>(overload_digest));
+      ok = false;
+    }
     if (base.has_trace_digest && base.trace_digest != trace_digest) {
       std::fprintf(stderr,
                    "perf_gate: FAIL trace digest changed "
@@ -810,8 +891,8 @@ int main(int argc, char** argv) {
   // an artifact precisely so a failing run can be diagnosed.
   if (!out_path.empty()) {
     WriteReport(out_path, kernels, digest, stream_digest, sharded_digest,
-                faulty_digest, trace_digest, scenario_path, sharded_path,
-                faulty_path);
+                faulty_digest, overload_digest, trace_digest, scenario_path,
+                sharded_path, faulty_path, overload_path);
   }
   return ok ? 0 : 1;
 }

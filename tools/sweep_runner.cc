@@ -231,12 +231,17 @@ void WriteJsonString(std::FILE* f, const std::string& s) {
 
 // Writes one experiment's results as BENCH_<id>.json. Schema per cell:
 // the grid parameters plus throughput [tx/s], abort_rate (aborts per
-// admitted attempt), mean/p95 response time [ms] and raw counters.
+// admitted attempt), mean/p95 response time [ms] and raw counters. A cell
+// whose scenario failed to load or validate is written as an "error"
+// record (params + message, no stats); `errors` may be empty (no failures
+// possible, e.g. the built-in grids) or one entry per cell with the empty
+// string marking success.
 bool WriteReport(const std::string& id, const std::string& description,
                  const std::vector<std::vector<Param>>& cell_params,
                  const std::vector<RunStats>& results,
                  const std::string& out_dir, unsigned num_threads,
-                 std::uint64_t txns) {
+                 std::uint64_t txns,
+                 const std::vector<std::string>& errors = {}) {
   const std::string path = out_dir + "/BENCH_" + id + ".json";
   std::FILE* f = std::fopen(path.c_str(), "w");
   if (f == nullptr) {
@@ -270,6 +275,12 @@ bool WriteReport(const std::string& id, const std::string& description,
       }
     }
     std::fprintf(f, "},\n");
+    if (!errors.empty() && !errors[i].empty()) {
+      std::fprintf(f, "      \"error\": ");
+      WriteJsonString(f, errors[i]);
+      std::fprintf(f, "\n    }%s\n", i + 1 == cell_params.size() ? "" : ",");
+      continue;
+    }
     std::fprintf(f, "      \"throughput_tx_per_sec\": %.4f,\n", s.throughput);
     std::fprintf(f, "      \"abort_rate\": %.6f,\n",
                  attempts == 0 ? 0.0 : aborts / attempts);
@@ -284,6 +295,17 @@ bool WriteReport(const std::string& id, const std::string& description,
     std::fprintf(f, "      \"backoff_rounds\": %llu,\n",
                  static_cast<unsigned long long>(s.backoff_rounds));
     std::fprintf(f, "      \"msgs_per_txn\": %.4f,\n", s.msgs_per_txn);
+    // Overload-control outcomes (all zero unless the cell's scenario
+    // engages the bounded admission gate / deadlines); goodput is the
+    // commits-within-deadline count the nightly sweep plots.
+    std::fprintf(f, "      \"shed\": %llu,\n",
+                 static_cast<unsigned long long>(s.shed));
+    std::fprintf(f, "      \"expired\": %llu,\n",
+                 static_cast<unsigned long long>(s.expired));
+    std::fprintf(f, "      \"retried\": %llu,\n",
+                 static_cast<unsigned long long>(s.retried));
+    std::fprintf(f, "      \"goodput\": %llu,\n",
+                 static_cast<unsigned long long>(s.goodput));
     std::fprintf(f, "      \"serializable\": %s\n",
                  s.serializable ? "true" : "false");
     std::fprintf(f, "    }%s\n", i + 1 == cell_params.size() ? "" : ",");
@@ -340,7 +362,9 @@ Param AxisParam(const SweepAxis& axis, const std::string& value) {
 
 // Expands the cross product of all sweep axes over the base scenario and
 // runs one engine simulation per combination. Every combination must
-// still pass full scenario validation.
+// still pass full scenario validation, but a combination that fails is
+// recorded as an "error" cell in the report and the sweep keeps going;
+// the run only exits nonzero when every job failed.
 int RunScenarioSweep(const std::string& scenario_path,
                      const std::vector<std::string>& sweep_specs,
                      const std::string& report_id, const std::string& out_dir,
@@ -349,6 +373,11 @@ int RunScenarioSweep(const std::string& scenario_path,
   if (!ini.ok()) {
     std::fprintf(stderr, "sweep_runner: %s: %s\n", scenario_path.c_str(),
                  ini.status().ToString().c_str());
+    // Every job failed before it started; still write the report so the
+    // failure is visible as data, not just a log line.
+    WriteReport(report_id, "scenario sweep over " + scenario_path,
+                std::vector<std::vector<Param>>(1), std::vector<RunStats>(1),
+                out_dir, num_threads, 0, {ini.status().ToString()});
     return 2;
   }
   std::vector<SweepAxis> axes;
@@ -367,9 +396,9 @@ int RunScenarioSweep(const std::string& scenario_path,
   std::size_t total = 1;
   for (const SweepAxis& axis : axes) total *= axis.values.size();
 
-  std::vector<ScenarioSpec> specs;
+  std::vector<ScenarioSpec> specs(total);
+  std::vector<std::string> errors(total);
   std::vector<std::vector<Param>> cell_params;
-  specs.reserve(total);
   cell_params.reserve(total);
   for (std::size_t c = 0; c < total; ++c) {
     IniFile cell = *ini;
@@ -383,12 +412,25 @@ int RunScenarioSweep(const std::string& scenario_path,
     }
     auto spec = ScenarioSpec::FromIni(cell);
     if (!spec.ok()) {
+      // Record the failure against this cell and keep sweeping: one bad
+      // combination must not discard the rest of the grid's work.
       std::fprintf(stderr, "sweep_runner: cell %zu of %s: %s\n", c,
                    scenario_path.c_str(), spec.status().ToString().c_str());
-      return 2;
+      errors[c] = spec.status().ToString();
+    } else {
+      specs[c] = std::move(*spec);
     }
-    specs.push_back(std::move(*spec));
     cell_params.push_back(std::move(params));
+  }
+  const std::size_t failed = static_cast<std::size_t>(std::count_if(
+      errors.begin(), errors.end(),
+      [](const std::string& e) { return !e.empty(); }));
+  std::size_t first_ok = total;
+  for (std::size_t c = 0; c < total; ++c) {
+    if (errors[c].empty()) {
+      first_ok = c;
+      break;
+    }
   }
 
   // Sharded cells run shards worker threads each; scale the outer pool
@@ -407,23 +449,32 @@ int RunScenarioSweep(const std::string& scenario_path,
     num_threads = negotiated;
   }
 
-  std::printf("sweep_runner: %zu scenario cells (%zu axes) on %u threads\n",
-              total, axes.size(), num_threads);
+  std::printf("sweep_runner: %zu scenario cells (%zu axes, %zu invalid) on "
+              "%u threads\n",
+              total, axes.size(), failed, num_threads);
   const std::vector<RunStats> results =
-      RunIndexed(total, num_threads, [&specs](std::size_t i) {
+      RunIndexed(total, num_threads, [&specs, &errors](std::size_t i) {
+        if (!errors[i].empty()) return RunStats();  // recorded, not run
         return RunScenario(specs[i]);
       });
 
-  std::string description = specs[0].name.empty()
-                                ? ("scenario sweep over " + scenario_path)
-                                : ("scenario sweep over " + specs[0].name);
-  if (!specs[0].description.empty()) {
-    description += ": " + specs[0].description;
+  const ScenarioSpec* base = first_ok < total ? &specs[first_ok] : nullptr;
+  std::string description =
+      base != nullptr && !base->name.empty()
+          ? ("scenario sweep over " + base->name)
+          : ("scenario sweep over " + scenario_path);
+  if (base != nullptr && !base->description.empty()) {
+    description += ": " + base->description;
   }
-  return WriteReport(report_id, description, cell_params, results, out_dir,
-                     num_threads, specs[0].TotalTxns())
-             ? 0
-             : 1;
+  const bool wrote =
+      WriteReport(report_id, description, cell_params, results, out_dir,
+                  num_threads, base != nullptr ? base->TotalTxns() : 0,
+                  errors);
+  if (failed == total) {
+    std::fprintf(stderr, "sweep_runner: every cell failed validation\n");
+    return 2;
+  }
+  return wrote ? 0 : 1;
 }
 
 bool ParseFlag(const char* arg, const char* name, std::string* out) {

@@ -524,9 +524,24 @@ int main(int argc, char** argv) {
   const RunSummary& summary = run_report.summary;
   const runner::RunStats& stats = run_report.stats;
 
+  if (!run_report.status.ok()) {
+    // The run watchdog cancelled the run; the summary below describes the
+    // partial run up to the cancellation point.
+    std::fprintf(stderr, "watchdog: %s\n",
+                 run_report.status.ToString().c_str());
+  }
   std::printf("committed          : %llu/%llu\n",
               static_cast<unsigned long long>(summary.committed),
               static_cast<unsigned long long>(summary.admitted));
+  if (stats.shed != 0 || stats.expired != 0 || stats.retried != 0 ||
+      run_spec.engine.run.shed_policy != ShedPolicy::kBlock) {
+    std::printf("overload           : %llu shed, %llu expired, %llu "
+                "retried, %llu goodput\n",
+                static_cast<unsigned long long>(stats.shed),
+                static_cast<unsigned long long>(stats.expired),
+                static_cast<unsigned long long>(stats.retried),
+                static_cast<unsigned long long>(stats.goodput));
+  }
   std::printf("mean system time   : %.2f ms (p95 %.2f, max %.2f)\n",
               session->metrics().MeanSystemTimeMs(),
               session->metrics().SystemTime().PercentileMs(95),
@@ -595,5 +610,6 @@ int main(int argc, char** argv) {
         "lambda_w=%.3f Q_r=%.2f K=%.1f\n",
         sys.lambda_a, sys.lambda_r, sys.lambda_w, sys.q_r, sys.k_avg);
   }
+  if (!run_report.status.ok()) return 3;  // watchdog-cancelled run
   return stats.serializable ? 0 : 1;
 }
