@@ -64,8 +64,8 @@ void RequestIssuer::StartAttempt(ActiveTxn& t) {
                              OpType::kRead});
   }
   for (ItemId item : t.spec.write_set) {
-    for (const CopyId& copy : catalog_->CopiesOf(item)) {
-      t.reqs.push_back(PhysReq{copy, OpType::kWrite});
+    for (std::uint32_t k = 0; k < catalog_->replication(); ++k) {
+      t.reqs.push_back(PhysReq{catalog_->CopyOf(item, k), OpType::kWrite});
     }
   }
   t.st.assign(t.reqs.size(), ReqState{});

@@ -669,17 +669,18 @@ std::uint64_t Engine::ReadCopy(const CopyId& copy) const {
 
 std::vector<std::uint64_t> Engine::ReadReplicas(ItemId item) const {
   std::vector<std::uint64_t> out;
-  for (const CopyId& copy : catalog_->CopiesOf(item)) {
-    out.push_back(ReadCopy(copy));
+  out.reserve(catalog_->replication());
+  for (std::uint32_t k = 0; k < catalog_->replication(); ++k) {
+    out.push_back(ReadCopy(catalog_->CopyOf(item, k)));
   }
   return out;
 }
 
 bool Engine::ReplicasConsistent() const {
   for (ItemId i = 0; i < options_.num_items; ++i) {
-    const std::vector<std::uint64_t> values = ReadReplicas(i);
-    for (std::uint64_t v : values) {
-      if (v != values.front()) return false;
+    const std::uint64_t first = ReadCopy(catalog_->CopyOf(i, 0));
+    for (std::uint32_t k = 1; k < catalog_->replication(); ++k) {
+      if (ReadCopy(catalog_->CopyOf(i, k)) != first) return false;
     }
   }
   return true;

@@ -190,18 +190,29 @@ SerializabilityReport ShardedEngine::CheckSerializability() const {
 }
 
 std::vector<std::uint64_t> ShardedEngine::ReadReplicas(ItemId item) const {
+  const Catalog& catalog = engines_[0]->catalog();
   std::vector<std::uint64_t> out;
-  for (const CopyId& copy : engines_[0]->catalog().CopiesOf(item)) {
+  out.reserve(catalog.replication());
+  for (std::uint32_t k = 0; k < catalog.replication(); ++k) {
+    const CopyId copy = catalog.CopyOf(item, k);
     out.push_back(engines_[plan_.OwnerOf(copy.site)]->ReadCopy(copy));
   }
   return out;
 }
 
 bool ShardedEngine::ReplicasConsistent() const {
+  const Catalog& catalog = engines_[0]->catalog();
   for (ItemId i = 0; i < options_.num_items; ++i) {
-    const std::vector<std::uint64_t> values = ReadReplicas(i);
-    for (std::uint64_t v : values) {
-      if (v != values.front()) return false;
+    std::uint64_t first = 0;
+    for (std::uint32_t k = 0; k < catalog.replication(); ++k) {
+      const CopyId copy = catalog.CopyOf(i, k);
+      const std::uint64_t v =
+          engines_[plan_.OwnerOf(copy.site)]->ReadCopy(copy);
+      if (k == 0) {
+        first = v;
+      } else if (v != first) {
+        return false;
+      }
     }
   }
   return true;

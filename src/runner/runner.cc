@@ -5,6 +5,10 @@
 #include <string>
 #include <utility>
 
+#if defined(__unix__) || defined(__APPLE__)
+#include <sys/resource.h>
+#endif
+
 #include "common/check.h"
 #include "engine/builder.h"
 
@@ -93,6 +97,20 @@ RunStats ExtractStats(ShardedEngine& engine, const RunSummary& summary) {
   return ExtractStatsImpl(engine, summary, [&engine](MessageKind k) {
     return engine.MessagesOfKind(k);
   });
+}
+
+std::uint64_t PeakRssKb() {
+#if defined(__unix__) || defined(__APPLE__)
+  struct rusage ru;
+  if (getrusage(RUSAGE_SELF, &ru) != 0) return 0;
+#if defined(__APPLE__)
+  return static_cast<std::uint64_t>(ru.ru_maxrss) / 1024;  // bytes
+#else
+  return static_cast<std::uint64_t>(ru.ru_maxrss);  // kilobytes
+#endif
+#else
+  return 0;
+#endif
 }
 
 std::uint32_t NegotiateJobs(std::uint32_t requested_jobs,
@@ -245,6 +263,7 @@ RunReport RunSession::Run() {
     RunReport report;
     report.summary = summary;
     report.stats = ExtractStats(*sharded_engine_, summary);
+    report.stats.peak_rss_kb = PeakRssKb();
     report.events_run = sharded_engine_->TotalEventsRun();
     report.shards = shards_;
     return report;
@@ -269,6 +288,7 @@ RunReport RunSession::Run() {
     report.summary = engine_->Run();
   }
   report.stats = ExtractStats(*engine_, report.summary);
+  report.stats.peak_rss_kb = PeakRssKb();
   report.events_run = engine_->simulator().EventsRun();
   report.shards = 1;
   return report;

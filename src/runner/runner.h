@@ -58,6 +58,10 @@ struct RunStats {
   // Per-protocol mean S (only meaningful for mixed runs).
   double mean_s_ms_by_proto[kNumProtocols] = {0, 0, 0};
   std::uint64_t committed_by_proto[kNumProtocols] = {0, 0, 0};
+  // Process-wide peak resident set at the end of the run, in KB (0 when
+  // the platform cannot report it). A high-water mark: in a sweep, a
+  // cell's value reflects the largest run up to and including it.
+  std::uint64_t peak_rss_kb = 0;
 };
 
 // What to run and how. The pointed-to spec and arrivals must outlive the
@@ -158,6 +162,10 @@ EngineCallbacks EstimatorCallbacks(ParamEstimator* est);
 // Extracts the row data from a completed run.
 RunStats ExtractStats(Engine& engine, const RunSummary& summary);
 RunStats ExtractStats(ShardedEngine& engine, const RunSummary& summary);
+
+// The process's peak resident set size in KB (getrusage), 0 if the
+// platform cannot report it.
+std::uint64_t PeakRssKb();
 
 // Thread-count negotiation between an outer worker pool (sweep_runner's
 // --jobs) and the sharded engine: the product of jobs and shards must not

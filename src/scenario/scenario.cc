@@ -2,6 +2,7 @@
 
 #include <algorithm>
 #include <cstdlib>
+#include <limits>
 #include <memory>
 #include <utility>
 
@@ -110,6 +111,9 @@ Status ParseScenarioSection(const IniSection& sec, ScenarioSpec* spec) {
       spec->name = e.value;
     } else if (e.key == "description") {
       spec->description = e.value;
+    } else if (e.key == "scale_factor") {
+      if (Status s = ParseUint(e, &spec->scale_factor); !s.ok()) return s;
+      if (spec->scale_factor == 0) return BadValue(e, "must be >= 1");
     } else {
       return Status::InvalidArgument(Where(e) + "unknown [scenario] key '" +
                                      e.key + "'");
@@ -118,7 +122,8 @@ Status ParseScenarioSection(const IniSection& sec, ScenarioSpec* spec) {
   return Status::OK();
 }
 
-Status ParseEngineSection(const IniSection& sec, EngineOptions* eo) {
+Status ParseEngineSection(const IniSection& sec, EngineOptions* eo,
+                          bool* saw_items) {
   for (const IniEntry& e : sec.entries) {
     std::uint64_t u = 0;
     if (e.key == "user_sites") {
@@ -130,6 +135,7 @@ Status ParseEngineSection(const IniSection& sec, EngineOptions* eo) {
     } else if (e.key == "items") {
       if (Status s = ParseUint(e, &u); !s.ok()) return s;
       eo->num_items = static_cast<ItemId>(u);
+      *saw_items = true;
     } else if (e.key == "replication") {
       if (Status s = ParseUint(e, &u); !s.ok()) return s;
       eo->replication = static_cast<std::uint32_t>(u);
@@ -345,11 +351,38 @@ Status ParseFaultSection(const IniSection& sec, FaultOptions* f) {
   return Status::OK();
 }
 
+// Parses a [table NAME] section: a required row count plus whether the
+// scenario scale_factor multiplies it.
+Status ParseTableSection(const IniSection& sec, const std::string& name,
+                         ScenarioTable* t) {
+  t->name = name;
+  t->line = sec.line;
+  bool saw_rows = false;
+  for (const IniEntry& e : sec.entries) {
+    if (e.key == "rows") {
+      if (Status s = ParseUint(e, &t->rows); !s.ok()) return s;
+      if (t->rows == 0) return BadValue(e, "must be >= 1");
+      saw_rows = true;
+    } else if (e.key == "scale") {
+      if (Status s = ParseBool(e, &t->scale); !s.ok()) return s;
+    } else {
+      return Status::InvalidArgument(Where(e) + "unknown [table] key '" +
+                                     e.key + "'");
+    }
+  }
+  if (!saw_rows) {
+    return Status::InvalidArgument("[table " + name + "] (line " +
+                                   std::to_string(sec.line) +
+                                   "): missing 'rows'");
+  }
+  return Status::OK();
+}
+
 // Parses one workload knob into `c`. Sets *known=false (and succeeds) for
-// keys it does not handle — `txns` and `start_ms` are class-section-only
-// and stay in ParseClassSection, so a phase cannot override them. Phase
-// overrides reuse this parser: a phase can change exactly the knobs a
-// class section can set.
+// keys it does not handle — `txns`, `start_ms` and `table` are
+// class-section-only and stay in ParseClassSection, so a phase cannot
+// override them. Phase overrides reuse this parser: a phase can change
+// exactly the knobs a class section can set.
 Status ParseClassKey(const IniEntry& e, ScenarioClass* c, bool* known) {
   *known = true;
   std::uint64_t u = 0;
@@ -377,6 +410,12 @@ Status ParseClassKey(const IniEntry& e, ScenarioClass* c, bool* known) {
     }
   } else if (e.key == "read_fraction") {
     if (Status s = ParseFraction(e, &c->read_fraction); !s.ok()) return s;
+  } else if (e.key == "scan_fraction") {
+    if (Status s = ParseFraction(e, &c->scan_fraction); !s.ok()) return s;
+  } else if (e.key == "scan_max") {
+    if (Status s = ParseUint(e, &u); !s.ok()) return s;
+    if (u == 0) return BadValue(e, "must be >= 1");
+    c->scan_max = static_cast<std::uint32_t>(u);
   } else if (e.key == "access") {
     if (e.value == "uniform") {
       c->access = ScenarioClass::AccessKind::kUniform;
@@ -444,6 +483,11 @@ Status ParseClassSection(const IniSection& sec, const std::string& name,
       Duration d = 0;
       if (Status s = ParseMs(e, &d); !s.ok()) return s;
       c->start = d;
+      continue;
+    }
+    if (e.key == "table") {
+      if (e.value.empty()) return BadValue(e, "expected table name");
+      c->table = e.value;
       continue;
     }
     if (e.key == "rate") saw_rate = true;
@@ -586,13 +630,20 @@ Status ParseRunSection(const IniSection& sec, EngineOptions* eo) {
 }
 
 // Validates one (possibly phase-overridden) class configuration against
-// the engine's item count. `where` names the class and, for timeline
-// stages, the phase.
+// its item range — the bound table's, or the engine's whole item count
+// for unbound classes. `where` names the class and, for timeline stages,
+// the phase.
 Status ValidateClassWorkload(const ScenarioClass& c,
                              const EngineOptions& engine,
                              const std::string& where) {
-  if (c.size_max > engine.num_items) {
-    return Status::InvalidArgument(where + "size exceeds [engine] items");
+  const ItemId range =
+      c.range_items != 0 ? c.range_items : engine.num_items;
+  if (c.size_max > range) {
+    return Status::InvalidArgument(where + "size exceeds the item range");
+  }
+  if (c.scan_fraction > 0 && c.scan_max > range) {
+    return Status::InvalidArgument(
+        where + "scan_max exceeds the item range");
   }
   if (c.arrival == ScenarioClass::ArrivalKind::kOnOff &&
       (c.on_mean == 0 || c.off_mean == 0)) {
@@ -604,7 +655,7 @@ Status ValidateClassWorkload(const ScenarioClass& c,
     case ScenarioClass::AccessKind::kZipf:
       break;
     case ScenarioClass::AccessKind::kHotspot:
-      if (c.hot_items == 0 || c.hot_items >= engine.num_items) {
+      if (c.hot_items == 0 || c.hot_items >= range) {
         return Status::InvalidArgument(
             where + "hotspot needs 1 <= hot_items < items");
       }
@@ -612,18 +663,16 @@ Status ValidateClassWorkload(const ScenarioClass& c,
         return Status::InvalidArgument(
             where + "hot_fraction = 1 cannot fill size > hot_items");
       }
-      if (c.hot_fraction <= 0.0 &&
-          c.size_max > engine.num_items - c.hot_items) {
+      if (c.hot_fraction <= 0.0 && c.size_max > range - c.hot_items) {
         return Status::InvalidArgument(
             where + "hot_fraction = 0 cannot fill size > items - hot_items");
       }
       break;
     case ScenarioClass::AccessKind::kPartition:
-      if (c.partitions > engine.num_items) {
+      if (c.partitions > range) {
         return Status::InvalidArgument(where + "more partitions than items");
       }
-      if (c.cross_fraction == 0 &&
-          c.size_max > engine.num_items / c.partitions) {
+      if (c.cross_fraction == 0 && c.size_max > range / c.partitions) {
         return Status::InvalidArgument(
             where + "cross_fraction = 0 cannot fill size > items/partitions");
       }
@@ -690,6 +739,63 @@ Status ValidateTimeline(const ScenarioSpec& spec) {
         return s;
       }
     }
+  }
+  return Status::OK();
+}
+
+// Lays the declared tables out contiguously in the item space (scaling
+// row counts by scale_factor), sets the engine's item count to their
+// total, and resolves every class table binding to an item range. With no
+// [table] sections this only rejects dangling `table =` references.
+Status ResolveTables(ScenarioSpec* spec, bool saw_items) {
+  if (spec->tables.empty()) {
+    for (const ScenarioClass& c : spec->classes) {
+      if (!c.table.empty()) {
+        return Status::InvalidArgument(
+            "[class " + c.name + "]: table '" + c.table +
+            "' referenced but no [table] sections are declared");
+      }
+    }
+    return Status::OK();
+  }
+  if (saw_items) {
+    return Status::InvalidArgument(
+        "[engine] items conflicts with [table] sections (the item count is "
+        "the sum of the table sizes)");
+  }
+  constexpr std::uint64_t kMaxItems = std::numeric_limits<ItemId>::max();
+  std::uint64_t next = 0;
+  for (ScenarioTable& t : spec->tables) {
+    const std::string where =
+        "[table " + t.name + "] (line " + std::to_string(t.line) + "): ";
+    std::uint64_t rows = t.rows;
+    if (t.scale) {
+      if (rows > kMaxItems / spec->scale_factor) {
+        return Status::InvalidArgument(
+            where + "rows * scale_factor overflows the item space");
+      }
+      rows *= spec->scale_factor;
+    }
+    if (rows > kMaxItems - next) {
+      return Status::InvalidArgument(where +
+                                     "tables exceed the item space");
+    }
+    t.first = static_cast<ItemId>(next);
+    t.effective_rows = static_cast<ItemId>(rows);
+    next += rows;
+  }
+  spec->engine.num_items = static_cast<ItemId>(next);
+  for (ScenarioClass& c : spec->classes) {
+    if (c.table.empty()) continue;  // unbound: whole item space
+    const auto it = std::find_if(
+        spec->tables.begin(), spec->tables.end(),
+        [&c](const ScenarioTable& t) { return t.name == c.table; });
+    if (it == spec->tables.end()) {
+      return Status::InvalidArgument("[class " + c.name +
+                                     "]: unknown table '" + c.table + "'");
+    }
+    c.range_first = it->first;
+    c.range_items = it->effective_rows;
   }
   return Status::OK();
 }
@@ -778,11 +884,16 @@ StatusOr<ScenarioSpec> ScenarioSpec::FromIni(const IniFile& ini) {
   ScenarioSpec spec;
   constexpr char kClassPrefix[] = "class ";
   constexpr char kPhasePrefix[] = "phase ";
+  constexpr char kTablePrefix[] = "table ";
+  bool saw_items = false;
   for (const IniSection& sec : ini.sections()) {
     if (sec.name == "scenario") {
       if (Status s = ParseScenarioSection(sec, &spec); !s.ok()) return s;
     } else if (sec.name == "engine") {
-      if (Status s = ParseEngineSection(sec, &spec.engine); !s.ok()) return s;
+      if (Status s = ParseEngineSection(sec, &spec.engine, &saw_items);
+          !s.ok()) {
+        return s;
+      }
     } else if (sec.name == "policy") {
       if (Status s = ParsePolicySection(sec, &spec.policy, &spec.engine);
           !s.ok()) {
@@ -820,17 +931,29 @@ StatusOr<ScenarioSpec> ScenarioSpec::FromIni(const IniFile& ini) {
       ScenarioPhase ph;
       if (Status s = ParsePhaseSection(sec, name, &ph); !s.ok()) return s;
       spec.phases.push_back(std::move(ph));
+    } else if (sec.name.rfind(kTablePrefix, 0) == 0) {
+      std::string name = sec.name.substr(sizeof(kTablePrefix) - 1);
+      for (const ScenarioTable& t : spec.tables) {
+        if (t.name == name) {
+          return Status::InvalidArgument("line " + std::to_string(sec.line) +
+                                         ": duplicate table '" + name + "'");
+        }
+      }
+      ScenarioTable t;
+      if (Status s = ParseTableSection(sec, name, &t); !s.ok()) return s;
+      spec.tables.push_back(std::move(t));
     } else {
       return Status::InvalidArgument(
           "line " + std::to_string(sec.line) + ": unknown section [" +
           sec.name +
           "] (expected scenario/engine/policy/topology/fault/run/"
-          "class NAME/phase NAME)");
+          "table NAME/class NAME/phase NAME)");
     }
   }
   if (spec.classes.empty()) {
     return Status::InvalidArgument("scenario has no [class NAME] section");
   }
+  if (Status s = ResolveTables(&spec, saw_items); !s.ok()) return s;
   // Phase-timeline crash events fire at their phase's start time.
   for (const ScenarioPhase& ph : spec.phases) {
     for (const ScenarioPhase::Crash& c : ph.crashes) {
@@ -905,12 +1028,31 @@ class ClassArrivalGen {
     spec.priority = config_.priority;
     spec.deadline = config_.deadline;
     if (config_.has_protocol) spec.protocol = config_.protocol;
+    // Ranged scan: a read-only contiguous run instead of point accesses.
+    // The scan_fraction > 0 guard keeps scan-free classes drawing exactly
+    // the same Rng sequence as before scans existed.
+    if (config_.scan_fraction > 0 &&
+        rng_.Bernoulli(config_.scan_fraction)) {
+      const ItemId range = Range();
+      std::uint32_t len = static_cast<std::uint32_t>(
+          rng_.UniformRange(1, config_.scan_max));
+      if (len > range) len = range;  // scan_max <= range was validated
+      const ItemId first =
+          config_.range_first +
+          static_cast<ItemId>(rng_.UniformInt(range - len + 1));
+      for (std::uint32_t k = 0; k < len; ++k) {
+        spec.read_set.push_back(first + k);
+      }
+      *forced = config_.has_protocol;
+      return true;
+    }
     const std::uint32_t size = static_cast<std::uint32_t>(
         rng_.UniformRange(config_.size_min, config_.size_max));
     std::vector<ItemId> items;
     items.reserve(size);
     while (items.size() < size) {  // retry duplicate draws
-      const ItemId item = access_->Next(rng_, spec.home);
+      const ItemId item =
+          config_.range_first + access_->Next(rng_, spec.home);
       if (std::find(items.begin(), items.end(), item) == items.end()) {
         items.push_back(item);
       }
@@ -927,9 +1069,15 @@ class ClassArrivalGen {
   }
 
  private:
+  // The class's item range: its bound table, or the whole item space.
+  ItemId Range() const {
+    return config_.range_items != 0 ? config_.range_items
+                                    : spec_->engine.num_items;
+  }
+
   void Rebuild() {
     arrivals_ = MakeArrivals(config_);
-    access_ = MakeAccess(config_, spec_->engine.num_items);
+    access_ = MakeAccess(config_, Range());
   }
 
   const ScenarioSpec* spec_;

@@ -11,6 +11,13 @@
 // and optional forced protocol. Each phase overrides class knobs from its
 // start time onward, so one scenario can model a workload whose rate,
 // skew or mix shifts mid-run.
+//
+// Macro scenarios additionally declare named [table NAME] sections (row
+// counts, optionally multiplied by [scenario] scale_factor) laid out
+// contiguously in the item space; a class binds to one table with
+// `table = NAME` so its accesses stay inside that table's range. Classes
+// may also mix in ranged scans (`scan_fraction` / `scan_max`), modelling
+// the YCSB scan operation.
 #ifndef UNICC_SCENARIO_SCENARIO_H_
 #define UNICC_SCENARIO_SCENARIO_H_
 
@@ -48,9 +55,29 @@ struct ScenarioPolicy {
   Duration estimator_window = 0;
 };
 
+// One logical table: a named contiguous slice of the item space. Tables
+// are laid out in declaration order; `rows` scaled by the scenario
+// scale_factor (unless `scale = false`) gives the effective row count.
+// The engine's item count becomes the sum of all effective rows.
+struct ScenarioTable {
+  std::string name;
+  int line = 0;            // of the section header, for diagnostics
+  std::uint64_t rows = 0;  // declared per-scale-factor row count
+  bool scale = true;       // multiply rows by [scenario] scale_factor
+  ItemId first = 0;        // resolved: first item id of the table
+  ItemId effective_rows = 0;  // resolved: rows after scaling
+};
+
 // One workload class: a stream of structurally similar transactions.
 struct ScenarioClass {
   std::string name;
+
+  // Table binding ([table] scenarios only): accesses are drawn inside
+  // [range_first, range_first + range_items). range_items == 0 means the
+  // whole item space (no table bound).
+  std::string table;
+  ItemId range_first = 0;
+  ItemId range_items = 0;
 
   std::uint64_t txns = 0;
   SimTime start = 0;  // offset added to every arrival of this class
@@ -65,6 +92,13 @@ struct ScenarioClass {
   std::uint32_t size_min = 4;
   std::uint32_t size_max = 4;
   double read_fraction = 0.5;
+
+  // Ranged scans (YCSB-style): with probability scan_fraction a
+  // transaction reads a contiguous run of 1..scan_max items instead of
+  // drawing point accesses. 0 disables scans (and draws nothing extra
+  // from the class Rng, keeping legacy scenarios byte-identical).
+  double scan_fraction = 0;
+  std::uint32_t scan_max = 100;
 
   enum class AccessKind : std::uint8_t {
     kUniform = 0,
@@ -122,8 +156,11 @@ struct ScenarioPhase {
 struct ScenarioSpec {
   std::string name;
   std::string description;
+  // Multiplier applied to every scaling [table] section's row count.
+  std::uint64_t scale_factor = 1;
   EngineOptions engine;
   ScenarioPolicy policy;
+  std::vector<ScenarioTable> tables;
   std::vector<ScenarioClass> classes;
   std::vector<ScenarioPhase> phases;
 

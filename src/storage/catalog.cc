@@ -30,24 +30,21 @@ std::vector<CopyId> Catalog::CopiesOf(ItemId item) const {
   std::vector<CopyId> copies;
   copies.reserve(replication_);
   for (std::uint32_t k = 0; k < replication_; ++k) {
-    const SiteId site = data_sites_[(item + k) % data_sites_.size()];
-    copies.push_back(CopyId{item, site});
+    copies.push_back(CopyOf(item, k));
   }
   return copies;
 }
 
 CopyId Catalog::ReadCopy(ItemId item, std::uint64_t preference) const {
-  const std::uint32_t k =
-      static_cast<std::uint32_t>(preference % replication_);
-  const SiteId site = data_sites_[(item + k) % data_sites_.size()];
-  return CopyId{item, site};
+  return CopyOf(item,
+                static_cast<std::uint32_t>(preference % replication_));
 }
 
 std::vector<CopyId> Catalog::CopiesAt(SiteId site) const {
   std::vector<CopyId> out;
   for (ItemId i = 0; i < num_items_; ++i) {
     for (std::uint32_t k = 0; k < replication_; ++k) {
-      if (data_sites_[(i + k) % data_sites_.size()] == site) {
+      if (CopyOf(i, k).site == site) {
         out.push_back(CopyId{i, site});
       }
     }

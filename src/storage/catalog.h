@@ -24,6 +24,13 @@ class Catalog {
   std::uint32_t replication() const { return replication_; }
   const std::vector<SiteId>& data_sites() const { return data_sites_; }
 
+  // Copy k of `item` (k < replication()). Allocation-free; the hot paths
+  // (issuer request expansion, replica reads) iterate k over this instead
+  // of materializing a vector per item.
+  CopyId CopyOf(ItemId item, std::uint32_t k) const {
+    return CopyId{item, data_sites_[(item + k) % data_sites_.size()]};
+  }
+
   // All physical copies of `item` (size == replication()).
   std::vector<CopyId> CopiesOf(ItemId item) const;
 

@@ -1,14 +1,19 @@
 #include "storage/store.h"
 
+#include <utility>
+
 namespace unicc {
 
-std::uint64_t Store::Read(const CopyId& copy) const {
-  auto it = values_.find(copy);
-  return it == values_.end() ? 0 : it->second;
-}
-
-void Store::Write(const CopyId& copy, std::uint64_t value) {
-  values_[copy] = value;
+void Store::Rehash(std::size_t new_size) {
+  std::vector<Slot> old = std::move(slots_);
+  slots_.assign(new_size, Slot{});
+  const std::uint64_t mask = new_size - 1;
+  for (const Slot& s : old) {
+    if (s.key == kEmptyKey) continue;
+    std::size_t i = Mix(s.key) & mask;
+    while (slots_[i].key != kEmptyKey) i = (i + 1) & mask;
+    slots_[i] = s;
+  }
 }
 
 }  // namespace unicc

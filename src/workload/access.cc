@@ -33,6 +33,19 @@ class ZipfAccess : public AccessPattern {
   ZipfGenerator zipf_;
 };
 
+class ZipfRejectionAccess : public AccessPattern {
+ public:
+  ZipfRejectionAccess(ItemId num_items, double theta)
+      : zipf_(num_items, theta) {}
+
+  ItemId Next(Rng& rng, std::uint32_t) override {
+    return static_cast<ItemId>(zipf_.Next(rng));
+  }
+
+ private:
+  ZipfRejectionSampler zipf_;
+};
+
 class HotspotAccess : public AccessPattern {
  public:
   HotspotAccess(ItemId num_items, ItemId hot_items, double hot_fraction)
@@ -96,8 +109,15 @@ std::unique_ptr<AccessPattern> MakeUniformAccess(ItemId num_items) {
   return std::make_unique<UniformAccess>(num_items);
 }
 
+bool ZipfUsesRejection(ItemId num_items, double theta) {
+  return theta > 0 && num_items >= kZipfRejectionCutoff;
+}
+
 std::unique_ptr<AccessPattern> MakeZipfAccess(ItemId num_items,
                                               double theta) {
+  if (ZipfUsesRejection(num_items, theta)) {
+    return std::make_unique<ZipfRejectionAccess>(num_items, theta);
+  }
   return std::make_unique<ZipfAccess>(num_items, theta);
 }
 

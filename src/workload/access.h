@@ -26,6 +26,19 @@ class AccessPattern {
 // Every item equally likely.
 std::unique_ptr<AccessPattern> MakeUniformAccess(ItemId num_items);
 
+// MakeZipfAccess switches from the O(n)-memory CDF sampler to the O(1)
+// rejection-inversion sampler at this key-space size. No shipped legacy
+// scenario crosses the cutoff, so their draw streams (and every golden /
+// perf digest) stay byte-identical; macro-scale tables get O(1) memory
+// and O(1) expected draws.
+inline constexpr ItemId kZipfRejectionCutoff = 1u << 20;
+
+// True when MakeZipfAccess(num_items, theta) draws through the
+// rejection-inversion sampler (theta > 0 and num_items at or above the
+// cutoff; theta = 0 always takes the CDF path, which degenerates to
+// uniform).
+bool ZipfUsesRejection(ItemId num_items, double theta);
+
 // Zipfian popularity with exponent `theta` >= 0 (0 degenerates to
 // uniform); item 0 is the most popular.
 std::unique_ptr<AccessPattern> MakeZipfAccess(ItemId num_items,

@@ -12,11 +12,21 @@ ZipfGenerator::ZipfGenerator(std::uint64_t n, double theta)
   UNICC_CHECK(n > 0);
   UNICC_CHECK(theta >= 0);
   cdf_.resize(n);
+  // Kahan-compensated accumulation: the naive running sum drifts by
+  // O(n * eps) at large n, which skews the normalized interior entries.
+  // For theta = 0 every term is exactly 1.0 and the compensation stays
+  // zero, so this is bit-identical to the uncompensated sum there.
   double sum = 0;
+  double comp = 0;
   for (std::uint64_t i = 0; i < n; ++i) {
-    sum += 1.0 / std::pow(static_cast<double>(i + 1), theta);
+    const double term = 1.0 / std::pow(static_cast<double>(i + 1), theta);
+    const double y = term - comp;
+    const double t = sum + y;
+    comp = (t - sum) - y;
+    sum = t;
     cdf_[i] = sum;
   }
+  // cdf_[n-1] == sum, so the last normalized entry is exactly 1.0.
   for (double& c : cdf_) c /= sum;
 }
 
@@ -25,6 +35,63 @@ std::uint64_t ZipfGenerator::Next(Rng& rng) const {
   auto it = std::lower_bound(cdf_.begin(), cdf_.end(), u);
   if (it == cdf_.end()) return n_ - 1;
   return static_cast<std::uint64_t>(it - cdf_.begin());
+}
+
+namespace {
+
+// log1p(x)/x, continued past the 0/0 singularity by its Taylor series.
+double Helper1(double x) {
+  if (std::abs(x) > 1e-8) return std::log1p(x) / x;
+  return 1.0 - x * (0.5 - x * (1.0 / 3.0 - x * 0.25));
+}
+
+// expm1(x)/x, continued past the 0/0 singularity by its Taylor series.
+double Helper2(double x) {
+  if (std::abs(x) > 1e-8) return std::expm1(x) / x;
+  return 1.0 + x * 0.5 * (1.0 + x * (1.0 / 3.0) * (1.0 + x * 0.25));
+}
+
+}  // namespace
+
+ZipfRejectionSampler::ZipfRejectionSampler(std::uint64_t n, double theta)
+    : n_(n), theta_(theta) {
+  UNICC_CHECK(n > 0);
+  UNICC_CHECK(theta > 0);
+  h_integral_x1_ = HIntegral(1.5) - 1.0;
+  h_integral_n_ = HIntegral(static_cast<double>(n) + 0.5);
+  s_ = 2.0 - HIntegralInverse(HIntegral(2.5) - H(2.0));
+}
+
+double ZipfRejectionSampler::H(double x) const {
+  return std::exp(-theta_ * std::log(x));
+}
+
+double ZipfRejectionSampler::HIntegral(double x) const {
+  const double log_x = std::log(x);
+  return Helper2((1.0 - theta_) * log_x) * log_x;
+}
+
+double ZipfRejectionSampler::HIntegralInverse(double x) const {
+  double t = x * (1.0 - theta_);
+  if (t < -1.0) t = -1.0;  // clamp round-off outside HIntegral's range
+  return std::exp(Helper1(t) * x);
+}
+
+std::uint64_t ZipfRejectionSampler::Next(Rng& rng) const {
+  for (;;) {
+    const double u = h_integral_n_ +
+                     rng.UniformDouble() * (h_integral_x1_ - h_integral_n_);
+    // u is in (HIntegral(n + 0.5), HIntegral(1.5) - 1], so x is in
+    // (0, n + 0.5] and k = round(x) clamps into [1, n].
+    const double x = HIntegralInverse(u);
+    std::uint64_t k =
+        x + 0.5 < 1.0 ? 1 : static_cast<std::uint64_t>(x + 0.5);
+    if (k > n_) k = n_;
+    const double kd = static_cast<double>(k);
+    if (kd - x <= s_ || u >= HIntegral(kd + 0.5) - H(kd)) {
+      return k - 1;  // rank 0 is the most popular
+    }
+  }
 }
 
 }  // namespace unicc

@@ -1,5 +1,15 @@
-// Zipfian item-popularity distribution (skewed access patterns / hotspots).
-// theta = 0 degenerates to uniform.
+// Zipfian item-popularity distributions (skewed access patterns /
+// hotspots). Both samplers share the rank convention "rank 0 is the most
+// popular": p(rank) proportional to 1/(rank+1)^theta.
+//
+//   ZipfGenerator          precomputed CDF: O(n) memory and setup,
+//                          O(log n) per draw. Exact and cheap for small
+//                          key spaces; theta = 0 degenerates to uniform.
+//   ZipfRejectionSampler   rejection-inversion (Hormann & Derflinger, the
+//                          sampler YCSB uses): O(1) memory, O(1) setup,
+//                          O(1) expected draws. Requires theta > 0; used
+//                          for macro-scale key spaces (see
+//                          workload/access.h for the cutoff).
 #ifndef UNICC_WORKLOAD_ZIPF_H_
 #define UNICC_WORKLOAD_ZIPF_H_
 
@@ -21,10 +31,47 @@ class ZipfGenerator {
   std::uint64_t n() const { return n_; }
   double theta() const { return theta_; }
 
+  // The normalized cumulative probabilities (cdf().back() == 1.0 exactly;
+  // the accumulation is Kahan-compensated so interior entries do not
+  // drift at large n). Exposed for distribution tests.
+  const std::vector<double>& cdf() const { return cdf_; }
+
  private:
   std::uint64_t n_;
   double theta_;
   std::vector<double> cdf_;  // cumulative probabilities
+};
+
+// Rejection-inversion sampler over the same distribution, after Hormann &
+// Derflinger, "Rejection-inversion to generate variates from monotone
+// discrete distributions" (the algorithm behind YCSB's scrambled Zipfian
+// and Apache Commons' RejectionInversionZipfSampler). Setup computes
+// three constants; each draw inverts the integral of a majorizing
+// function and accepts with probability ~1, so draws are O(1) expected
+// and independent of n. Requires theta > 0 (theta = 0 has no majorizer;
+// callers use a uniform draw instead).
+class ZipfRejectionSampler {
+ public:
+  ZipfRejectionSampler(std::uint64_t n, double theta);
+
+  // Draws a rank in [0, n); rank 0 is the most popular.
+  std::uint64_t Next(Rng& rng) const;
+
+  std::uint64_t n() const { return n_; }
+  double theta() const { return theta_; }
+
+ private:
+  // H(x) = integral of h(x) = x^-theta, shifted so H is finite at
+  // theta = 1; HIntegralInverse is its exact inverse.
+  double HIntegral(double x) const;
+  double H(double x) const;
+  double HIntegralInverse(double x) const;
+
+  std::uint64_t n_;
+  double theta_;
+  double h_integral_x1_;  // HIntegral(1.5) - 1
+  double h_integral_n_;   // HIntegral(n + 0.5)
+  double s_;              // acceptance shortcut threshold
 };
 
 }  // namespace unicc

@@ -541,6 +541,200 @@ TEST(ForcedAwarePolicyTest, ForcedIdsBypassBasePolicy) {
 }
 
 // ---------------------------------------------------------------------------
+// Tables, scale factor, and scans (macro scenarios)
+// ---------------------------------------------------------------------------
+
+constexpr char kTabledScenario[] =
+    "[scenario]\nscale_factor = 3\n"
+    "[engine]\nuser_sites = 4\n"
+    "[table small]\nrows = 10\n"
+    "[table big]\nrows = 100\n"
+    "[table meta]\nrows = 7\nscale = false\n"
+    "[class on_small]\ntxns = 20\nrate = 50\nsize = 2\ntable = small\n"
+    "[class on_big]\ntxns = 20\nrate = 50\nsize = 2\ntable = big\n";
+
+TEST(ScenarioTableTest, LaysOutTablesAndScalesRows) {
+  auto spec = ScenarioSpec::Parse(kTabledScenario);
+  ASSERT_TRUE(spec.ok()) << spec.status().ToString();
+  ASSERT_EQ(spec->tables.size(), 3u);
+  // Contiguous in declaration order; rows scale by scale_factor unless
+  // the table opts out with scale = false.
+  EXPECT_EQ(spec->tables[0].first, 0u);
+  EXPECT_EQ(spec->tables[0].effective_rows, 30u);
+  EXPECT_EQ(spec->tables[1].first, 30u);
+  EXPECT_EQ(spec->tables[1].effective_rows, 300u);
+  EXPECT_EQ(spec->tables[2].first, 330u);
+  EXPECT_EQ(spec->tables[2].effective_rows, 7u);
+  EXPECT_EQ(spec->engine.num_items, 337u);
+  // Class bindings resolve to the table's item range.
+  EXPECT_EQ(spec->classes[0].range_first, 0u);
+  EXPECT_EQ(spec->classes[0].range_items, 30u);
+  EXPECT_EQ(spec->classes[1].range_first, 30u);
+  EXPECT_EQ(spec->classes[1].range_items, 300u);
+}
+
+TEST(ScenarioTableTest, BoundClassesDrawOnlyFromTheirTable) {
+  auto spec = ScenarioSpec::Parse(kTabledScenario);
+  ASSERT_TRUE(spec.ok());
+  const auto wl = spec->BuildWorkload();
+  ASSERT_FALSE(wl.arrivals.empty());
+  bool any_big = false;
+  for (const auto& a : wl.arrivals) {
+    for (const auto* set : {&a.spec.read_set, &a.spec.write_set}) {
+      for (ItemId item : *set) {
+        EXPECT_LT(item, 330u);  // nobody is bound to [table meta]
+        if (item >= 30) any_big = true;
+      }
+    }
+  }
+  EXPECT_TRUE(any_big);
+}
+
+TEST(ScenarioTableTest, UnboundClassSpansAllTables) {
+  auto spec = ScenarioSpec::Parse(
+      "[table t]\nrows = 40\n"
+      "[class everywhere]\ntxns = 10\nrate = 50\nsize = 2\n");
+  ASSERT_TRUE(spec.ok()) << spec.status().ToString();
+  EXPECT_EQ(spec->engine.num_items, 40u);
+  EXPECT_EQ(spec->classes[0].range_first, 0u);
+  EXPECT_EQ(spec->classes[0].range_items, 0u);  // 0 = whole keyspace
+}
+
+TEST(ScenarioTableTest, RejectsBadTableConfigs) {
+  // Duplicate table name.
+  EXPECT_FALSE(ScenarioSpec::Parse(
+                   "[table t]\nrows = 10\n[table t]\nrows = 10\n"
+                   "[class c]\ntxns = 5\nrate = 10\n")
+                   .ok());
+  // rows is mandatory and must be >= 1.
+  EXPECT_FALSE(ScenarioSpec::Parse(
+                   "[table t]\nscale = false\n"
+                   "[class c]\ntxns = 5\nrate = 10\n")
+                   .ok());
+  EXPECT_FALSE(ScenarioSpec::Parse(
+                   "[table t]\nrows = 0\n"
+                   "[class c]\ntxns = 5\nrate = 10\n")
+                   .ok());
+  // Explicit [engine] items conflicts with a table-derived keyspace.
+  EXPECT_FALSE(ScenarioSpec::Parse(
+                   "[engine]\nitems = 32\n[table t]\nrows = 10\n"
+                   "[class c]\ntxns = 5\nrate = 10\n")
+                   .ok());
+  // Binding to a table that does not exist.
+  auto unknown = ScenarioSpec::Parse(
+      "[table t]\nrows = 10\n"
+      "[class c]\ntxns = 5\nrate = 10\ntable = nope\n");
+  ASSERT_FALSE(unknown.ok());
+  EXPECT_NE(unknown.status().message().find("unknown table"),
+            std::string::npos);
+  // Binding when no tables were declared at all.
+  EXPECT_FALSE(ScenarioSpec::Parse(
+                   "[engine]\nitems = 32\n"
+                   "[class c]\ntxns = 5\nrate = 10\ntable = t\n")
+                   .ok());
+  // scale_factor must be >= 1.
+  EXPECT_FALSE(ScenarioSpec::Parse(
+                   "[scenario]\nscale_factor = 0\n[table t]\nrows = 10\n"
+                   "[class c]\ntxns = 5\nrate = 10\n")
+                   .ok());
+  // Transaction size cannot exceed the bound table's range.
+  EXPECT_FALSE(ScenarioSpec::Parse(
+                   "[table tiny]\nrows = 2\n[table pad]\nrows = 100\n"
+                   "[class c]\ntxns = 5\nrate = 10\nsize = 5\ntable = tiny\n")
+                   .ok());
+}
+
+TEST(ScenarioScanTest, ParsesAndValidatesScanKnobs) {
+  auto spec = ScenarioSpec::Parse(
+      "[engine]\nitems = 64\n"
+      "[class c]\ntxns = 5\nrate = 10\nscan_fraction = 0.25\nscan_max = 16\n");
+  ASSERT_TRUE(spec.ok()) << spec.status().ToString();
+  EXPECT_EQ(spec->classes[0].scan_fraction, 0.25);
+  EXPECT_EQ(spec->classes[0].scan_max, 16u);
+  EXPECT_FALSE(ScenarioSpec::Parse(
+                   "[engine]\nitems = 64\n"
+                   "[class c]\ntxns = 5\nrate = 10\nscan_fraction = 1.5\n")
+                   .ok());
+  EXPECT_FALSE(ScenarioSpec::Parse(
+                   "[engine]\nitems = 64\n"
+                   "[class c]\ntxns = 5\nrate = 10\nscan_max = 0\n")
+                   .ok());
+  // scan_max larger than the class's item range is rejected, including
+  // against a bound table's range.
+  EXPECT_FALSE(ScenarioSpec::Parse(
+                   "[engine]\nitems = 64\n"
+                   "[class c]\ntxns = 5\nrate = 10\n"
+                   "scan_fraction = 0.1\nscan_max = 65\n")
+                   .ok());
+  EXPECT_FALSE(ScenarioSpec::Parse(
+                   "[table t]\nrows = 8\n[table pad]\nrows = 100\n"
+                   "[class c]\ntxns = 5\nrate = 10\ntable = t\n"
+                   "scan_fraction = 0.1\nscan_max = 9\n")
+                   .ok());
+}
+
+TEST(ScenarioScanTest, ScansAreContiguousReadOnlyAndInRange) {
+  auto spec = ScenarioSpec::Parse(
+      "[table front]\nrows = 50\n"
+      "[table data]\nrows = 200\n"
+      "[class scans]\ntxns = 300\nrate = 200\nsize = 1\ntable = data\n"
+      "read_fraction = 0\nscan_fraction = 1\nscan_max = 12\n");
+  ASSERT_TRUE(spec.ok()) << spec.status().ToString();
+  const auto wl = spec->BuildWorkload();
+  ASSERT_EQ(wl.arrivals.size(), 300u);
+  bool any_multi = false;
+  for (const auto& a : wl.arrivals) {
+    // scan_fraction = 1: every transaction is a scan — read-only even
+    // though read_fraction is 0, and a contiguous run inside [50, 250).
+    EXPECT_TRUE(a.spec.write_set.empty());
+    ASSERT_FALSE(a.spec.read_set.empty());
+    ASSERT_LE(a.spec.read_set.size(), 12u);
+    if (a.spec.read_set.size() > 1) any_multi = true;
+    EXPECT_GE(a.spec.read_set.front(), 50u);
+    EXPECT_LT(a.spec.read_set.back(), 250u);
+    for (std::size_t i = 1; i < a.spec.read_set.size(); ++i) {
+      EXPECT_EQ(a.spec.read_set[i], a.spec.read_set[i - 1] + 1);
+    }
+  }
+  EXPECT_TRUE(any_multi);
+}
+
+TEST(ScenarioScanTest, ScanFractionIsPhaseOverridable) {
+  auto spec = ScenarioSpec::Parse(
+      "[engine]\nitems = 256\n"
+      "[class c]\ntxns = 400\nrate = 100\nsize = 1\nread_fraction = 0\n"
+      "[phase scans]\nstart_ms = 2000\nscan_fraction = 1\nscan_max = 8\n");
+  ASSERT_TRUE(spec.ok()) << spec.status().ToString();
+  const auto wl = spec->BuildWorkload();
+  const SimTime boundary = 2000 * kMillisecond;
+  std::size_t early_scans = 0, late_writes = 0, late = 0;
+  for (const auto& a : wl.arrivals) {
+    if (a.when < boundary) {
+      early_scans += !a.spec.read_set.empty();
+    } else {
+      ++late;
+      late_writes += !a.spec.write_set.empty();
+    }
+  }
+  ASSERT_GT(late, 50u);
+  EXPECT_EQ(early_scans, 0u);   // pure writes before the boundary
+  EXPECT_LE(late_writes, 1u);   // all scans after (one straddler allowed)
+}
+
+TEST(ScenarioTableTest, TabledWorkloadIsDeterministic) {
+  auto spec = ScenarioSpec::Parse(kTabledScenario);
+  ASSERT_TRUE(spec.ok());
+  const auto a = spec->BuildWorkload();
+  const auto b = ScenarioSpec::Parse(kTabledScenario)->BuildWorkload();
+  ASSERT_EQ(a.arrivals.size(), b.arrivals.size());
+  for (std::size_t i = 0; i < a.arrivals.size(); ++i) {
+    EXPECT_EQ(a.arrivals[i].when, b.arrivals[i].when);
+    EXPECT_EQ(a.arrivals[i].spec.read_set, b.arrivals[i].spec.read_set);
+    EXPECT_EQ(a.arrivals[i].spec.write_set, b.arrivals[i].spec.write_set);
+  }
+}
+
+// ---------------------------------------------------------------------------
 // Generator primitives
 // ---------------------------------------------------------------------------
 

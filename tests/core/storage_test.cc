@@ -2,7 +2,9 @@
 
 #include <algorithm>
 #include <set>
+#include <unordered_map>
 
+#include "common/rng.h"
 #include "storage/catalog.h"
 #include "storage/log.h"
 #include "storage/store.h"
@@ -67,6 +69,76 @@ TEST(StoreTest, WriteThenRead) {
   s.Write(CopyId{1, 2}, 78);
   EXPECT_EQ(s.Read(CopyId{1, 2}), 78u);
   EXPECT_EQ(s.WrittenCopies(), 1u);
+}
+
+TEST(CatalogTest, CopyOfMatchesCopiesOf) {
+  auto c = Catalog::Make(24, {4, 5, 6, 7}, 3).value();
+  for (ItemId i = 0; i < 24; ++i) {
+    const auto copies = c.CopiesOf(i);
+    for (std::uint32_t k = 0; k < c.replication(); ++k) {
+      EXPECT_EQ(c.CopyOf(i, k), copies[k]);
+    }
+    for (std::uint64_t pref = 0; pref < 7; ++pref) {
+      EXPECT_EQ(c.ReadCopy(i, pref), c.CopyOf(i, pref % c.replication()));
+    }
+  }
+}
+
+TEST(StoreTest, MatchesReferenceMapOnRandomOps) {
+  // Drive the open-addressing table and a reference unordered_map with
+  // the same randomized op sequence; they must agree on every read.
+  Store store;
+  std::unordered_map<std::uint64_t, std::uint64_t> ref;
+  Rng rng(51);
+  const auto key_of = [](const CopyId& c) {
+    return (static_cast<std::uint64_t>(c.item) << 32) | c.site;
+  };
+  for (int op = 0; op < 20000; ++op) {
+    const CopyId copy{static_cast<ItemId>(rng.UniformInt(700)),
+                      static_cast<SiteId>(rng.UniformInt(5))};
+    if (rng.Bernoulli(0.5)) {
+      const std::uint64_t v = rng.UniformRange(1, 1000000);
+      store.Write(copy, v);
+      ref[key_of(copy)] = v;
+    } else {
+      const auto it = ref.find(key_of(copy));
+      EXPECT_EQ(store.Read(copy), it == ref.end() ? 0u : it->second);
+    }
+  }
+  EXPECT_EQ(store.WrittenCopies(), ref.size());
+  for (const auto& [key, value] : ref) {
+    const CopyId copy{static_cast<ItemId>(key >> 32),
+                      static_cast<SiteId>(key & 0xffffffffu)};
+    EXPECT_EQ(store.Read(copy), value);
+  }
+}
+
+TEST(StoreTest, SentinelCopyIdRoundTrips) {
+  // {0xffffffff, 0xffffffff} packs to the table's empty-slot marker and
+  // takes the dedicated escape path.
+  Store s;
+  const CopyId sentinel{0xffffffffu, 0xffffffffu};
+  EXPECT_EQ(s.Read(sentinel), 0u);
+  s.Write(sentinel, 42);
+  EXPECT_EQ(s.Read(sentinel), 42u);
+  EXPECT_EQ(s.WrittenCopies(), 1u);
+  s.Write(sentinel, 43);
+  EXPECT_EQ(s.Read(sentinel), 43u);
+  EXPECT_EQ(s.WrittenCopies(), 1u);
+  s.Write(CopyId{1, 1}, 7);
+  EXPECT_EQ(s.WrittenCopies(), 2u);
+  EXPECT_EQ(s.Read(sentinel), 43u);
+}
+
+TEST(StoreTest, GrowsPastInitialCapacity) {
+  Store s;
+  for (std::uint32_t i = 0; i < 1000; ++i) {
+    s.Write(CopyId{i, i % 13}, i + 1);
+  }
+  EXPECT_EQ(s.WrittenCopies(), 1000u);
+  for (std::uint32_t i = 0; i < 1000; ++i) {
+    EXPECT_EQ(s.Read(CopyId{i, i % 13}), i + 1);
+  }
 }
 
 TEST(LogTest, AppendsInSequenceOrder) {

@@ -3,7 +3,9 @@
 #include <gtest/gtest.h>
 
 #include <map>
+#include <vector>
 
+#include "workload/access.h"
 #include "workload/zipf.h"
 
 namespace unicc {
@@ -32,6 +34,92 @@ TEST(ZipfTest, StaysInRange) {
   ZipfGenerator zipf(7, 0.9);
   Rng rng(3);
   for (int i = 0; i < 1000; ++i) EXPECT_LT(zipf.Next(rng), 7u);
+}
+
+TEST(ZipfTest, CdfLastEntryExactlyOneAtMillionItems) {
+  // The Kahan-compensated accumulation normalizes by the exact final sum,
+  // so the last CDF entry is exactly 1.0 even at n = 10^6 — the naive
+  // running sum drifts by O(n * eps) and used to leave it slightly off,
+  // occasionally letting UniformDouble() land past the table.
+  ZipfGenerator zipf(1000000, 0.99);
+  ASSERT_EQ(zipf.cdf().size(), 1000000u);
+  EXPECT_EQ(zipf.cdf().back(), 1.0);
+  for (std::size_t i = 1; i < zipf.cdf().size(); i += 9973) {
+    EXPECT_GE(zipf.cdf()[i], zipf.cdf()[i - 1]);
+  }
+}
+
+TEST(ZipfRejectionTest, StaysInRange) {
+  ZipfRejectionSampler zipf(1000, 1.2);
+  Rng rng(21);
+  for (int i = 0; i < 20000; ++i) EXPECT_LT(zipf.Next(rng), 1000u);
+}
+
+TEST(ZipfRejectionTest, DeterministicForSameSeed) {
+  ZipfRejectionSampler zipf(1u << 21, 0.99);
+  Rng a(22), b(22);
+  for (int i = 0; i < 5000; ++i) EXPECT_EQ(zipf.Next(a), zipf.Next(b));
+}
+
+// Chi-squared goodness of fit of both samplers against the exact Zipf
+// probabilities, across the theta range the scenarios use. 50 bins,
+// 100000 draws each; the 0.001-significance critical value for 49
+// degrees of freedom is ~85.4, so a correct sampler fails with
+// probability 1e-3 per (sampler, theta) — and the seeds are fixed, so
+// the test is fully deterministic anyway.
+TEST(ZipfRejectionTest, MatchesCdfSamplerDistribution) {
+  constexpr std::uint64_t kItems = 50;
+  constexpr int kDraws = 100000;
+  constexpr double kCritical = 85.4;
+  for (const double theta : {0.5, 0.99, 1.2}) {
+    const ZipfGenerator cdf_sampler(kItems, theta);
+    const ZipfRejectionSampler rej_sampler(kItems, theta);
+    // Exact bin probabilities from the normalized CDF.
+    std::vector<double> expected(kItems);
+    for (std::uint64_t i = 0; i < kItems; ++i) {
+      expected[i] = cdf_sampler.cdf()[i] - (i == 0 ? 0.0 : cdf_sampler.cdf()[i - 1]);
+      expected[i] *= kDraws;
+    }
+    Rng rng_cdf(31), rng_rej(32);
+    std::vector<int> counts_cdf(kItems, 0), counts_rej(kItems, 0);
+    for (int d = 0; d < kDraws; ++d) {
+      ++counts_cdf[cdf_sampler.Next(rng_cdf)];
+      ++counts_rej[rej_sampler.Next(rng_rej)];
+    }
+    double chi2_cdf = 0, chi2_rej = 0;
+    for (std::uint64_t i = 0; i < kItems; ++i) {
+      const double dc = counts_cdf[i] - expected[i];
+      const double dr = counts_rej[i] - expected[i];
+      chi2_cdf += dc * dc / expected[i];
+      chi2_rej += dr * dr / expected[i];
+    }
+    EXPECT_LT(chi2_cdf, kCritical) << "cdf sampler, theta " << theta;
+    EXPECT_LT(chi2_rej, kCritical) << "rejection sampler, theta " << theta;
+  }
+}
+
+TEST(ZipfRejectionTest, CutoffSelectsSampler) {
+  // At or above the cutoff with skew: rejection-inversion. Below it, or
+  // unskewed at any size, the CDF path (theta = 0 degenerates to
+  // uniform, which needs no Zipf machinery at all).
+  EXPECT_TRUE(ZipfUsesRejection(kZipfRejectionCutoff, 0.99));
+  EXPECT_TRUE(ZipfUsesRejection(kZipfRejectionCutoff + 1, 0.5));
+  EXPECT_FALSE(ZipfUsesRejection(kZipfRejectionCutoff - 1, 0.99));
+  EXPECT_FALSE(ZipfUsesRejection(kZipfRejectionCutoff, 0.0));
+  EXPECT_FALSE(ZipfUsesRejection(128, 0.99));
+
+  // The factory honors the cutoff: a macro-scale pattern still draws
+  // in-range, skewed toward low ranks.
+  auto access = MakeZipfAccess(kZipfRejectionCutoff, 0.99);
+  Rng rng(33);
+  int low = 0;
+  for (int i = 0; i < 10000; ++i) {
+    const ItemId item = access->Next(rng, 0);
+    ASSERT_LT(item, kZipfRejectionCutoff);
+    if (item < kZipfRejectionCutoff / 100) ++low;
+  }
+  // Under uniform access ~1% of draws would land in the lowest 1%.
+  EXPECT_GT(low, 2000);
 }
 
 TEST(WorkloadGeneratorTest, GeneratesRequestedCount) {

@@ -29,6 +29,10 @@
 //                      (deadline shedding + retry backoff); its exact
 //                      digest, overload_digest, additionally folds the
 //                      shed/expired/retried/goodput counters
+//   macro_run          the macro-tier [table] scenario (2M-item YCSB mix)
+//                      as authored; its exact digest, macro_digest, pins
+//                      the table layout, scan machinery and the
+//                      rejection-inversion Zipf sampler
 //   trace_write        UCTC v2 block-columnar trace encode, MB/sec
 //   trace_replay       UCTC v2 block decode through the ArrivalStream
 //                      reader, MB/sec; the exact round-trip digest,
@@ -411,13 +415,15 @@ std::uint64_t DigestOverloadStats(const bench::RunStats& s) {
 // as authored, preserving the scenario's contention), run, digest.
 // `stream` switches the run to open-system: a [run] MPL cap puts the
 // pull/schedule/defer machinery of streaming admission on the measured
-// path. Every arrival is eventually admitted either way (the cap only
-// delays), so committed must equal txns and both digests are
-// machine-independent.
+// path. `scale_main = false` runs the scenario as authored (multi-class
+// scenarios have no "main" to scale; the macro kernel's signal comes from
+// its size, not a txn multiplier). Every arrival is eventually admitted
+// (the MPL cap only delays), so committed must equal the spec's total and
+// both digests are machine-independent.
 KernelResult KernelScenarioRun(const char* name, bool stream,
                                const std::string& path, std::uint64_t txns,
                                std::uint64_t* digest, bool* ok,
-                               int shards = -1) {
+                               int shards = -1, bool scale_main = true) {
   KernelResult r;
   r.name = name;
   r.items = "txns";
@@ -429,7 +435,7 @@ KernelResult KernelScenarioRun(const char* name, bool stream,
     return r;
   }
   IniFile scaled = *ini;
-  scaled.Set("class main", "txns", std::to_string(txns));
+  if (scale_main) scaled.Set("class main", "txns", std::to_string(txns));
   if (stream) scaled.Set("run", "max_inflight", "64");
   if (shards >= 0) scaled.Set("run", "shards", std::to_string(shards));
   auto spec = ScenarioSpec::FromIni(scaled);
@@ -439,17 +445,18 @@ KernelResult KernelScenarioRun(const char* name, bool stream,
     *ok = false;
     return r;
   }
+  const std::uint64_t expected = spec->TotalTxns();
   const double start = NowSeconds();
   const bench::RunStats stats = bench::RunScenario(*spec);
   const double elapsed = NowSeconds() - start;
   r.items_per_sec = static_cast<double>(stats.committed) / elapsed;
   *digest = DigestStats(stats);
-  if (stats.committed != txns || !stats.serializable) {
+  if (stats.committed != expected || !stats.serializable) {
     std::fprintf(stderr,
                  "perf_gate: %s run is broken (committed=%llu/%llu, "
                  "serializable=%s)\n",
                  name, static_cast<unsigned long long>(stats.committed),
-                 static_cast<unsigned long long>(txns),
+                 static_cast<unsigned long long>(expected),
                  stats.serializable ? "yes" : "no");
     *ok = false;
   }
@@ -497,11 +504,13 @@ void WriteReport(const std::string& path,
                  const std::vector<KernelResult>& kernels,
                  std::uint64_t digest, std::uint64_t stream_digest,
                  std::uint64_t sharded_digest, std::uint64_t faulty_digest,
-                 std::uint64_t overload_digest, std::uint64_t trace_digest,
+                 std::uint64_t overload_digest, std::uint64_t macro_digest,
+                 std::uint64_t trace_digest,
                  const std::string& scenario,
                  const std::string& sharded_scenario,
                  const std::string& faulty_scenario,
-                 const std::string& overload_scenario) {
+                 const std::string& overload_scenario,
+                 const std::string& macro_scenario) {
   std::FILE* f = std::fopen(path.c_str(), "w");
   if (f == nullptr) {
     std::fprintf(stderr, "perf_gate: cannot open %s\n", path.c_str());
@@ -514,20 +523,24 @@ void WriteReport(const std::string& path,
                "  \"sharded_scenario\": \"%s\",\n"
                "  \"faulty_scenario\": \"%s\",\n"
                "  \"overload_scenario\": \"%s\",\n"
+               "  \"macro_scenario\": \"%s\",\n"
                "  \"scenario_digest\": \"%016llx\",\n"
                "  \"stream_digest\": \"%016llx\",\n"
                "  \"sharded_digest\": \"%016llx\",\n"
                "  \"faulty_digest\": \"%016llx\",\n"
                "  \"overload_digest\": \"%016llx\",\n"
+               "  \"macro_digest\": \"%016llx\",\n"
                "  \"trace_digest\": \"%016llx\",\n"
                "  \"kernels\": [\n",
                scenario.c_str(), sharded_scenario.c_str(),
                faulty_scenario.c_str(), overload_scenario.c_str(),
+               macro_scenario.c_str(),
                static_cast<unsigned long long>(digest),
                static_cast<unsigned long long>(stream_digest),
                static_cast<unsigned long long>(sharded_digest),
                static_cast<unsigned long long>(faulty_digest),
                static_cast<unsigned long long>(overload_digest),
+               static_cast<unsigned long long>(macro_digest),
                static_cast<unsigned long long>(trace_digest));
   for (std::size_t i = 0; i < kernels.size(); ++i) {
     std::fprintf(f,
@@ -557,6 +570,8 @@ struct Baseline {
   bool has_faulty_digest = false;
   std::uint64_t overload_digest = 0;
   bool has_overload_digest = false;
+  std::uint64_t macro_digest = 0;
+  bool has_macro_digest = false;
   std::uint64_t trace_digest = 0;
   bool has_trace_digest = false;
 };
@@ -598,6 +613,12 @@ bool LoadBaseline(const std::string& path, Baseline* out) {
     out->overload_digest =
         std::strtoull(text.c_str() + p + okey.size(), nullptr, 16);
     out->has_overload_digest = true;
+  }
+  const std::string mkey = "\"macro_digest\": \"";
+  if (std::size_t p = text.find(mkey); p != std::string::npos) {
+    out->macro_digest =
+        std::strtoull(text.c_str() + p + mkey.size(), nullptr, 16);
+    out->has_macro_digest = true;
   }
   const std::string tkey = "\"trace_digest\": \"";
   if (std::size_t p = text.find(tkey); p != std::string::npos) {
@@ -649,6 +670,9 @@ void PrintHelp() {
       "  --overload-scenario=<file>  bounded-admission scenario for the\n"
       "                      overload_run kernel\n"
       "                      (default scenarios/overload.ini)\n"
+      "  --macro-scenario=<file>  macro-tier [table] scenario for the\n"
+      "                      macro_run kernel, run as authored\n"
+      "                      (default scenarios/macro_ycsb.ini)\n"
       "  --trace-roundtrip=<n>  instead of the kernel suite, run a\n"
       "                      bounded-memory generator -> v2 trace file ->\n"
       "                      replay round trip of n transactions and exit\n"
@@ -676,6 +700,7 @@ int main(int argc, char** argv) {
   std::string sharded_path = "scenarios/macro_partitioned.ini";
   std::string faulty_path = "scenarios/flaky_mesh.ini";
   std::string overload_path = "scenarios/overload.ini";
+  std::string macro_path = "scenarios/macro_ycsb.ini";
   double tolerance = 0.5;
   double min_time = 0.5;
   std::uint64_t txns = 20000;
@@ -696,7 +721,8 @@ int main(int argc, char** argv) {
                ParseFlag(a, "--scenario", &scenario_path) ||
                ParseFlag(a, "--sharded-scenario", &sharded_path) ||
                ParseFlag(a, "--faulty-scenario", &faulty_path) ||
-               ParseFlag(a, "--overload-scenario", &overload_path)) {
+               ParseFlag(a, "--overload-scenario", &overload_path) ||
+               ParseFlag(a, "--macro-scenario", &macro_path)) {
     } else if (ParseFlag(a, "--tolerance", &v)) {
       tolerance = std::strtod(v.c_str(), nullptr);
     } else if (ParseFlag(a, "--min-time", &v)) {
@@ -740,6 +766,15 @@ int main(int argc, char** argv) {
                                       &faulty_digest, &ok));
   std::uint64_t overload_digest = 0;
   kernels.push_back(KernelOverloadRun(overload_path, &overload_digest, &ok));
+  // The macro-tier kernel runs its [table] scenario as authored (its
+  // millions of items are the point; a txn multiplier would only slow the
+  // suite): wall-clock txns/sec is banded like the other kernels and
+  // macro_digest pins the table layout, the scan machinery and the
+  // rejection-inversion Zipf draws exactly.
+  std::uint64_t macro_digest = 0;
+  kernels.push_back(KernelScenarioRun("macro_run", /*stream=*/false,
+                                      macro_path, 0, &macro_digest, &ok,
+                                      /*shards=*/-1, /*scale_main=*/false));
   std::uint64_t trace_digest = 0;
   {
     const std::vector<Arrival> trace_wl = MakeTraceWorkload(50000);
@@ -771,6 +806,8 @@ int main(int argc, char** argv) {
               static_cast<unsigned long long>(faulty_digest));
   std::printf("overload_digest    %016llx\n",
               static_cast<unsigned long long>(overload_digest));
+  std::printf("macro_digest       %016llx\n",
+              static_cast<unsigned long long>(macro_digest));
   std::printf("trace_digest       %016llx\n",
               static_cast<unsigned long long>(trace_digest));
 
@@ -876,6 +913,16 @@ int main(int argc, char** argv) {
                    static_cast<unsigned long long>(overload_digest));
       ok = false;
     }
+    if (base.has_macro_digest && base.macro_digest != macro_digest) {
+      std::fprintf(stderr,
+                   "perf_gate: FAIL macro digest changed "
+                   "(%016llx -> %016llx): macro-tier results (table "
+                   "layout, scans, or rejection-inversion Zipf draws) "
+                   "differ from the baseline build\n",
+                   static_cast<unsigned long long>(base.macro_digest),
+                   static_cast<unsigned long long>(macro_digest));
+      ok = false;
+    }
     if (base.has_trace_digest && base.trace_digest != trace_digest) {
       std::fprintf(stderr,
                    "perf_gate: FAIL trace digest changed "
@@ -891,8 +938,9 @@ int main(int argc, char** argv) {
   // an artifact precisely so a failing run can be diagnosed.
   if (!out_path.empty()) {
     WriteReport(out_path, kernels, digest, stream_digest, sharded_digest,
-                faulty_digest, overload_digest, trace_digest, scenario_path,
-                sharded_path, faulty_path, overload_path);
+                faulty_digest, overload_digest, macro_digest, trace_digest,
+                scenario_path, sharded_path, faulty_path, overload_path,
+                macro_path);
   }
   return ok ? 0 : 1;
 }

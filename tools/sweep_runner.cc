@@ -306,6 +306,10 @@ bool WriteReport(const std::string& id, const std::string& description,
                  static_cast<unsigned long long>(s.retried));
     std::fprintf(f, "      \"goodput\": %llu,\n",
                  static_cast<unsigned long long>(s.goodput));
+    // Peak RSS is a process-wide high-water mark: a cell reflects the
+    // largest run up to and including it (cells run in job order).
+    std::fprintf(f, "      \"peak_rss_kb\": %llu,\n",
+                 static_cast<unsigned long long>(s.peak_rss_kb));
     std::fprintf(f, "      \"serializable\": %s\n",
                  s.serializable ? "true" : "false");
     std::fprintf(f, "    }%s\n", i + 1 == cell_params.size() ? "" : ",");

@@ -562,6 +562,12 @@ int main(int argc, char** argv) {
               stats.serializable ? "yes" : "NO");
   std::printf("replicas consistent: %s\n",
               stats.replicas_consistent ? "yes" : "NO");
+  // stderr: the record/replay CI check diffs stdout, and the peak RSS of
+  // two separate processes legitimately differs.
+  if (stats.peak_rss_kb != 0) {
+    std::fprintf(stderr, "peak rss           : %llu KB\n",
+                 static_cast<unsigned long long>(stats.peak_rss_kb));
+  }
 
   if (const TimelineRecorder* tl = session->timeline(); tl != nullptr) {
     if (!flags.timeline_csv.empty()) {
